@@ -1,0 +1,26 @@
+"""F3 — Fig. 3(a)-(c): long-lived TCP, BER 1e-6, ROUTE0/1/2, schemes S/D/R1/A/R16.
+
+Shape reproduced: S << D, A ~ 2x D, R1 >= D, R16 on top on every route set,
+and ROUTE2 noticeably worse than ROUTE0/ROUTE1.
+"""
+
+import pytest
+
+from repro.experiments.longlived import run_longlived_panel
+
+
+@pytest.mark.parametrize("route_set", ["ROUTE0", "ROUTE1", "ROUTE2"])
+def test_fig3_panel(benchmark, run_once, route_set):
+    panel = run_once(
+        run_longlived_panel, route_set, 1e-6, duration_s=0.5, seed=1,
+        flow_sets=((1,), (1, 2), (1, 2, 3)),
+    )
+    for label, series in panel.throughput_mbps.items():
+        for n_flows, value in series.items():
+            benchmark.extra_info[f"{label}_{n_flows}flows_mbps"] = round(value, 2)
+    # RIPPLE wins on every flow count, as in every panel of Fig. 3.
+    for n_flows in (1, 2, 3):
+        others = [panel.throughput_mbps[label][n_flows] for label in ("S", "D", "R1", "A")]
+        assert panel.throughput_mbps["R16"][n_flows] > max(others)
+    # The direct (S) route is far worse than the relayed route for flow 1.
+    assert panel.throughput_mbps["S"][1] < 0.5 * panel.throughput_mbps["D"][1]

@@ -1,0 +1,23 @@
+"""F4 — Fig. 4(a)-(c): long-lived TCP under the noisy channel (BER 1e-5).
+
+Same structure as Fig. 3; the paper's observation is that RIPPLE keeps its
+lead when channel noise corrupts roughly 8 % of 1000-byte packets.
+"""
+
+import pytest
+
+from repro.experiments.longlived import run_longlived_panel
+
+
+@pytest.mark.parametrize("route_set", ["ROUTE0", "ROUTE1", "ROUTE2"])
+def test_fig4_panel(benchmark, run_once, route_set):
+    panel = run_once(
+        run_longlived_panel, route_set, 1e-5, duration_s=0.5, seed=1,
+        flow_sets=((1,), (1, 2, 3)),
+    )
+    for label, series in panel.throughput_mbps.items():
+        for n_flows, value in series.items():
+            benchmark.extra_info[f"{label}_{n_flows}flows_mbps"] = round(value, 2)
+    for n_flows in (1, 3):
+        others = [panel.throughput_mbps[label][n_flows] for label in ("S", "D", "R1", "A")]
+        assert panel.throughput_mbps["R16"][n_flows] > max(others)

@@ -1,0 +1,19 @@
+"""F6a — Fig. 6(a): regular collisions (all stations within carrier-sense range).
+
+Shape reproduced: per-flow-count totals with RIPPLE above AFR above DCF,
+and total throughput that does not grow once the medium saturates.
+"""
+
+from repro.experiments.collisions import run_regular_collisions
+
+
+def test_fig6a_regular_collisions(benchmark, run_once):
+    result = run_once(
+        run_regular_collisions, flow_counts=(1, 3, 5), duration_s=0.4, seed=1
+    )
+    for label, series in result.throughput_mbps.items():
+        for n_flows, value in series.items():
+            benchmark.extra_info[f"{label}_{n_flows}flows_mbps"] = round(value, 2)
+    for n_flows in (1, 3, 5):
+        assert result.throughput_mbps["R16"][n_flows] > result.throughput_mbps["D"][n_flows]
+        assert result.throughput_mbps["A"][n_flows] > result.throughput_mbps["D"][n_flows]

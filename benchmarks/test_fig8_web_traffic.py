@@ -1,0 +1,15 @@
+"""F8 — Fig. 8: short-lived web transfers (30 ON/OFF flows on the Fig. 1 topology).
+
+Shape reproduced: RIPPLE carries more aggregate web throughput than AFR and
+plain DCF even when transfers are short and bursty.
+"""
+
+from repro.experiments.web import run_web_traffic
+
+
+def test_fig8_web_traffic(benchmark, run_once):
+    result = run_once(run_web_traffic, duration_s=1.0, seed=1)
+    for label, value in result.total_mbps.items():
+        benchmark.extra_info[f"{label}_total_mbps"] = round(value, 2)
+    assert result.total_mbps["R16"] > result.total_mbps["D"]
+    assert result.total_mbps["R16"] > 0.8 * result.total_mbps["A"]

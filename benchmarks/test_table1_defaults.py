@@ -1,0 +1,30 @@
+"""T1 — Table I: the simulation parameters used throughout the paper."""
+
+from repro.mac.timing import DEFAULT_TIMING
+from repro.phy.params import HIGH_RATE_PHY
+from repro.sim.units import us
+
+
+def table1_parameters():
+    """Collect the Table I values as the library exposes them."""
+    return {
+        "sifs_us": DEFAULT_TIMING.sifs_ns / 1000,
+        "slot_us": DEFAULT_TIMING.slot_ns / 1000,
+        "packet_bytes": 1000,
+        "data_rate_mbps": HIGH_RATE_PHY.data_rate_bps / 1e6,
+        "basic_rate_mbps": HIGH_RATE_PHY.basic_rate_bps / 1e6,
+        "queue_packets": DEFAULT_TIMING.queue_capacity,
+        "phy_header_us": HIGH_RATE_PHY.phy_header_ns / 1000,
+    }
+
+
+def test_table1_defaults(benchmark, run_once):
+    params = run_once(table1_parameters)
+    benchmark.extra_info.update(params)
+    assert params["sifs_us"] == 16
+    assert params["slot_us"] == 9
+    assert params["data_rate_mbps"] == 216
+    assert params["basic_rate_mbps"] == 54
+    assert params["queue_packets"] == 50
+    assert params["phy_header_us"] == 20
+    assert DEFAULT_TIMING.difs_ns == us(34)

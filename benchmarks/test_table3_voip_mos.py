@@ -1,0 +1,30 @@
+"""T3 — Table III: VoIP MoS on the Fig. 1 topology at a 6 Mb/s PHY.
+
+Paper values (per scheme, flows 1..10 / 1..20 / 1..30):
+  DCF   ROUTE0: 4.13 / 1.56 / 1.20   (BER 1e-6)
+  AFR   ROUTE0: 4.12 / 1.42 / 1.01
+  RIPPLE:       4.14 / 2.82 / 2.09
+Shape reproduced: all schemes are fine with few calls, quality collapses as
+calls are added, and RIPPLE degrades the least.
+"""
+
+import pytest
+
+from repro.experiments.voip import run_voip
+
+
+@pytest.mark.parametrize("ber", [1e-6, 1e-5], ids=["clear", "noisy"])
+def test_table3_voip_mos(benchmark, run_once, ber):
+    result = run_once(
+        run_voip, bit_error_rate=ber, flow_groups=(10, 20), duration_s=1.5, seed=1
+    )
+    for label, series in result.mos.items():
+        for n_flows, value in series.items():
+            benchmark.extra_info[f"{label}_{n_flows}flows_mos"] = round(value, 2)
+    for label in ("D", "A", "R16"):
+        assert 1.0 <= result.mos[label][10] <= 4.5
+        # More simultaneous calls never improve quality.
+        assert result.mos[label][20] <= result.mos[label][10] + 0.2
+    # RIPPLE sustains at least as good quality as DCF/AFR under load.
+    assert result.mos["R16"][20] >= result.mos["D"][20] - 0.1
+    assert result.mos["R16"][20] >= result.mos["A"][20] - 0.1

@@ -1,0 +1,15 @@
+"""Pytest bootstrap.
+
+Makes the ``src`` layout importable even when the package has not been
+installed (useful on offline machines where ``pip install -e .`` cannot
+build an editable wheel).  When the package *is* installed this is a
+harmless no-op because the installed location takes precedence only if it
+appears earlier on ``sys.path``; both point at the same files anyway.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Reproduce a Fig. 3-style panel: the Fig. 1 mesh, three flows, five schemes.
+
+Runs the paper's long-lived TCP comparison on the multi-flow topology of
+Fig. 1 with the ROUTE0 predetermined routes (Table II), activating flow 1,
+then flows 1+2, then all three flows, and prints the same bars Fig. 3(a)
+plots: S (direct shortest path), D (802.11 DCF), R1 (RIPPLE without
+aggregation), A (AFR) and R16 (RIPPLE).
+
+Run with:  python examples/mesh_long_lived_tcp.py [duration_seconds]
+"""
+
+import sys
+
+from repro.experiments.longlived import run_longlived_panel
+from repro.experiments.report import render_panel
+
+
+def main() -> None:
+    duration = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
+    panel = run_longlived_panel("ROUTE0", bit_error_rate=1e-6, duration_s=duration, seed=1)
+    print(
+        render_panel(
+            f"Fig. 3(a) — total TCP throughput (Mb/s), ROUTE0, BER 1e-6, {duration} s simulated\n"
+            "columns: number of simultaneously active flows",
+            panel.throughput_mbps,
+            [1, 2, 3],
+        )
+    )
+    print()
+    r16 = panel.throughput_mbps["R16"][3]
+    dcf = panel.throughput_mbps["D"][3]
+    print(f"RIPPLE vs DCF with all three flows active: {r16 / dcf:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""repro — a from-scratch reproduction of RIPPLE (ICDCS 2010).
+
+"Opportunistic Routing for Interactive Traffic in Wireless Networks",
+Tianji Li, Douglas Leith, Lili Qiu.
+
+The package contains a complete discrete-event wireless network simulator
+(802.11 DCF PHY/MAC, shadowing + i.i.d. BER channel, TCP Reno, traffic
+generators), the RIPPLE protocol itself, the baselines the paper compares
+against (predetermined routing over DCF, shortest-path routing, preExOR,
+MCExOR, AFR), the paper's topologies, and an experiment harness that
+regenerates every table and figure of the evaluation section.
+
+Quick start::
+
+    from repro import WirelessNetwork, StaticRouting, BitErrorModel
+    from repro.traffic import FtpApplication
+    from repro.transport import TcpSender, TcpSink
+
+    net = WirelessNetwork(error_model=BitErrorModel(1e-6), seed=1)
+    ...
+
+See ``examples/quickstart.py`` for a complete runnable scenario and
+``repro.experiments`` for the per-figure reproductions.
+"""
+
+from repro.mac import AfrMac, DcfMac, MacTiming, RouteDecision
+from repro.core import RippleMac
+from repro.packet import Packet
+from repro.phy import BitErrorModel, PhyParams, ShadowingPropagation
+from repro.routing import (
+    McExorMac,
+    PreExorMac,
+    RoutingProtocol,
+    ShortestPathRouting,
+    StaticRouting,
+)
+from repro.sim import RandomStreams, Simulator, seconds, us
+from repro.topology import SCHEMES, Node, WirelessNetwork
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AfrMac",
+    "DcfMac",
+    "MacTiming",
+    "RouteDecision",
+    "RippleMac",
+    "Packet",
+    "BitErrorModel",
+    "PhyParams",
+    "ShadowingPropagation",
+    "McExorMac",
+    "PreExorMac",
+    "RoutingProtocol",
+    "ShortestPathRouting",
+    "StaticRouting",
+    "RandomStreams",
+    "Simulator",
+    "seconds",
+    "us",
+    "SCHEMES",
+    "Node",
+    "WirelessNetwork",
+    "__version__",
+]

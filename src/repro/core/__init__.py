@@ -1,0 +1,5 @@
+"""The paper's contribution: the RIPPLE opportunistic forwarding MAC."""
+
+from repro.core.ripple import RippleMac, RippleStats
+
+__all__ = ["RippleMac", "RippleStats"]

@@ -1,0 +1,38 @@
+"""Experiment harness: one module per table/figure of the paper's evaluation.
+
+==========  ==========================================  ==============================
+Paper item  Module / entry point                        What it reports
+==========  ==========================================  ==============================
+Section II  :func:`repro.experiments.motivation.run_motivation`    SPR vs preExOR vs MCExOR throughput + re-ordering
+Fig. 3      :func:`repro.experiments.longlived.run_fig3`           long-lived TCP, BER 1e-6, ROUTE0/1/2
+Fig. 4      :func:`repro.experiments.longlived.run_fig4`           long-lived TCP, BER 1e-5
+Fig. 6(a)   :func:`repro.experiments.collisions.run_regular_collisions`  regular collisions
+Fig. 6(b)   :func:`repro.experiments.collisions.run_hidden_collisions`   hidden collisions
+Fig. 7      :func:`repro.experiments.hops.run_hops`                 2-7 hop line, +/- cross traffic
+Fig. 8      :func:`repro.experiments.web.run_web_traffic`           short web transfers
+Table III   :func:`repro.experiments.voip.run_table3`               VoIP MoS
+Fig. 10     :func:`repro.experiments.wigle.run_wigle`               Wigle topology
+Fig. 12     :func:`repro.experiments.roofnet.run_roofnet`           Roofnet topology
+(extra)     :mod:`repro.experiments.ablation`                       aggregation / forwarder ablations
+==========  ==========================================  ==============================
+"""
+
+from repro.experiments.runner import (
+    DEFAULT_SCHEME_LABELS,
+    PAPER_SCHEMES,
+    ScenarioConfig,
+    ScenarioResult,
+    build_network,
+    run_scenario,
+    sweep_schemes,
+)
+
+__all__ = [
+    "DEFAULT_SCHEME_LABELS",
+    "PAPER_SCHEMES",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "build_network",
+    "run_scenario",
+    "sweep_schemes",
+]

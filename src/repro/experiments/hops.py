@@ -1,0 +1,56 @@
+"""Path length sweep with and without cross traffic: Fig. 7(a) and 7(b).
+
+A single long-lived TCP flow runs over a line of 2..7 hops (the longest
+path length reported in the opportunistic-routing literature, per the
+paper); in Fig. 7(b) a saturating 3-hop cross flow shares the middle
+relay.  Throughput falls with distance and RIPPLE stays on top; beyond
+5 hops the end points cannot hear each other at all, so RIPPLE's
+performance "depends entirely on the forwarders' help".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence
+
+from repro.experiments.runner import ScenarioConfig, run_scenario
+from repro.topology.standard import line_topology
+
+#: Schemes plotted in Fig. 7.
+HOPS_SCHEMES: tuple[str, ...] = ("D", "A", "R16")
+
+
+@dataclass
+class HopsResult:
+    """Fig. 7: flow-1 throughput versus hop count, with/without cross traffic."""
+
+    cross_traffic: bool
+    #: throughput_mbps[scheme_label][n_hops] = flow 1 throughput in Mb/s
+    throughput_mbps: Dict[str, Dict[int, float]] = field(default_factory=dict)
+
+
+def run_hops(
+    hop_counts: Sequence[int] = (2, 3, 4, 5, 6, 7),
+    cross_traffic: bool = False,
+    schemes: Sequence[str] = HOPS_SCHEMES,
+    bit_error_rate: float = 1e-6,
+    duration_s: float = 1.0,
+    seed: int = 1,
+) -> HopsResult:
+    """Reproduce Fig. 7(a) (``cross_traffic=False``) or Fig. 7(b) (``True``)."""
+    result = HopsResult(cross_traffic=cross_traffic)
+    for label in schemes:
+        result.throughput_mbps[label] = {}
+        for hops in hop_counts:
+            topology = line_topology(hops, cross_traffic=cross_traffic)
+            config = ScenarioConfig(
+                topology=topology,
+                scheme_label=label,
+                route_set="ROUTE0",
+                bit_error_rate=bit_error_rate,
+                duration_s=duration_s,
+                seed=seed,
+            )
+            outcome = run_scenario(config)
+            result.throughput_mbps[label][hops] = outcome.flow_throughput(1)
+    return result

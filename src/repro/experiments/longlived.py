@@ -1,0 +1,82 @@
+"""Long-lived TCP transfers: Figs. 3 and 4 of the paper.
+
+Each panel of Fig. 3 (BER 1e-6) and Fig. 4 (BER 1e-5) uses one of the
+predetermined route sets of Table II (ROUTE0/1/2) and plots, for 1, 2 and
+3 simultaneously active flows, the throughput of the five schemes
+S / D / R1 / A / R16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.runner import (
+    DEFAULT_SCHEME_LABELS,
+    ScenarioConfig,
+    run_scenario,
+)
+from repro.topology.standard import fig1_topology
+
+#: Flow activation sets used by the figures: flow 1, flows 1+2, flows 1+2+3.
+FLOW_SETS: Tuple[Tuple[int, ...], ...] = ((1,), (1, 2), (1, 2, 3))
+
+
+@dataclass
+class LongLivedPanel:
+    """One panel of Fig. 3 / Fig. 4: total throughput per scheme per flow count."""
+
+    route_set: str
+    bit_error_rate: float
+    #: throughput_mbps[scheme_label][n_flows] = total TCP throughput in Mb/s
+    throughput_mbps: Dict[str, Dict[int, float]] = field(default_factory=dict)
+    #: per_flow_mbps[scheme_label][n_flows] = list of per-flow throughputs
+    per_flow_mbps: Dict[str, Dict[int, List[float]]] = field(default_factory=dict)
+
+
+def run_longlived_panel(
+    route_set: str = "ROUTE0",
+    bit_error_rate: float = 1e-6,
+    scheme_labels: Sequence[str] = DEFAULT_SCHEME_LABELS,
+    flow_sets: Sequence[Tuple[int, ...]] = FLOW_SETS,
+    duration_s: float = 1.0,
+    seed: int = 1,
+) -> LongLivedPanel:
+    """Reproduce one panel of Fig. 3 (BER 1e-6) or Fig. 4 (BER 1e-5)."""
+    topology = fig1_topology()
+    panel = LongLivedPanel(route_set=route_set, bit_error_rate=bit_error_rate)
+    for label in scheme_labels:
+        panel.throughput_mbps[label] = {}
+        panel.per_flow_mbps[label] = {}
+        for flows in flow_sets:
+            config = ScenarioConfig(
+                topology=topology,
+                scheme_label=label,
+                route_set=route_set,
+                active_flows=list(flows),
+                bit_error_rate=bit_error_rate,
+                duration_s=duration_s,
+                seed=seed,
+            )
+            result = run_scenario(config)
+            panel.throughput_mbps[label][len(flows)] = result.total_throughput_mbps
+            panel.per_flow_mbps[label][len(flows)] = [
+                flow.throughput_mbps for flow in result.flows
+            ]
+    return panel
+
+
+def run_fig3(duration_s: float = 1.0, seed: int = 1) -> Dict[str, LongLivedPanel]:
+    """All three panels of Fig. 3 (clear channel, BER 1e-6)."""
+    return {
+        route_set: run_longlived_panel(route_set, 1e-6, duration_s=duration_s, seed=seed)
+        for route_set in ("ROUTE0", "ROUTE1", "ROUTE2")
+    }
+
+
+def run_fig4(duration_s: float = 1.0, seed: int = 1) -> Dict[str, LongLivedPanel]:
+    """All three panels of Fig. 4 (noisy channel, BER 1e-5)."""
+    return {
+        route_set: run_longlived_panel(route_set, 1e-5, duration_s=duration_s, seed=seed)
+        for route_set in ("ROUTE0", "ROUTE1", "ROUTE2")
+    }

@@ -1,0 +1,75 @@
+"""Roofnet topology throughput measurements: Fig. 12(a)-(d).
+
+Source/destination pairs 3, 4 and 5 relay hops apart (two examples of
+each, labelled ``3(1)``, ``3(2)``, ... as in the paper) are measured one
+at a time on the synthetic Roofnet-like layout, at 6 Mb/s and 216 Mb/s,
+with and without nearby hidden terminals, under DCF, AFR and RIPPLE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+from repro.experiments.runner import ScenarioConfig, run_scenario
+from repro.phy.params import HIGH_RATE_PHY, LOW_RATE_PHY, PhyParams
+from repro.topology.roofnet import roofnet_scenario
+
+#: Schemes plotted in Fig. 12.
+ROOFNET_SCHEMES: tuple[str, ...] = ("D", "A", "R16")
+
+
+@dataclass
+class RoofnetResult:
+    """One panel of Fig. 12: per-pair throughput for each scheme."""
+
+    data_rate_mbps: float
+    hidden_terminals: bool
+    #: throughput_mbps[scheme_label][pair_label] = measured flow throughput
+    throughput_mbps: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+
+def _phy_for_rate(data_rate_mbps: float) -> PhyParams:
+    if data_rate_mbps >= 100:
+        return HIGH_RATE_PHY
+    return LOW_RATE_PHY
+
+
+def run_roofnet(
+    data_rate_mbps: float = 6.0,
+    hidden_terminals: bool = False,
+    schemes: Sequence[str] = ROOFNET_SCHEMES,
+    hop_counts: Tuple[int, ...] = (3, 3, 4, 4, 5, 5),
+    bit_error_rate: float = 1e-6,
+    duration_s: float = 1.0,
+    seed: int = 7,
+    max_flows: int | None = None,
+) -> RoofnetResult:
+    """Reproduce one panel of Fig. 12."""
+    topology = roofnet_scenario(hop_counts=hop_counts, include_hidden=hidden_terminals, seed=seed)
+    measured = [flow for flow in topology.flows if flow.kind == "tcp"]
+    if max_flows is not None:
+        measured = measured[:max_flows]
+    hidden = {flow.flow_id: flow for flow in topology.flows if flow.kind != "tcp"}
+    result = RoofnetResult(data_rate_mbps=data_rate_mbps, hidden_terminals=hidden_terminals)
+    for label in schemes:
+        result.throughput_mbps[label] = {}
+        for index, flow in enumerate(measured):
+            active = [flow.flow_id]
+            if hidden_terminals:
+                hidden_id = 200 + index
+                if hidden_id in hidden:
+                    active.append(hidden_id)
+            config = ScenarioConfig(
+                topology=topology,
+                scheme_label=label,
+                route_set="ROUTE0",
+                active_flows=active,
+                bit_error_rate=bit_error_rate,
+                duration_s=duration_s,
+                seed=seed,
+                phy=_phy_for_rate(data_rate_mbps),
+            )
+            outcome = run_scenario(config)
+            result.throughput_mbps[label][flow.label] = outcome.flow_throughput(flow.flow_id)
+    return result

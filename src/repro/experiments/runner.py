@@ -1,0 +1,216 @@
+"""Scenario assembly and execution shared by every experiment.
+
+An experiment module (one per paper table/figure) describes *what* to run
+— a topology spec, a route set, which flows are active, which scheme label
+from the paper's figures — and this module turns that into a wired-up
+:class:`~repro.topology.network.WirelessNetwork`, runs it, and collects
+per-flow results.
+
+The paper's figure legends use five scheme labels; they map onto the
+library's MAC schemes and route choices as follows:
+
+========  =========================  =============================
+label     MAC scheme                 route used
+========  =========================  =============================
+``S``     ``dcf``                    the direct (shortest) path
+``D``     ``dcf``                    the predetermined route set
+``A``     ``afr``                    the predetermined route set
+``R1``    ``ripple1`` (no aggr.)     the predetermined route set
+``R16``   ``ripple`` (16-pkt aggr.)  the predetermined route set
+========  =========================  =============================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.metrics.flows import FlowResult, summarize_tcp_flow, summarize_udp_flow, total_throughput_mbps
+from repro.phy.error_models import BitErrorModel
+from repro.phy.params import PhyParams
+from repro.routing.static import StaticRouting
+from repro.sim.units import seconds
+from repro.topology.network import WirelessNetwork
+from repro.topology.spec import FlowSpec, TopologySpec
+from repro.traffic.cbr import SaturatingSource
+from repro.traffic.ftp import FtpApplication
+from repro.traffic.voip import VoipFlow
+from repro.traffic.web import WebFlow
+from repro.transport.tcp import TcpSender, TcpSink
+from repro.transport.udp import UdpReceiver, UdpSender
+
+#: Paper figure label -> (library scheme name, route-set override or None).
+PAPER_SCHEMES: Dict[str, Tuple[str, Optional[str]]] = {
+    "S": ("dcf", "DIRECT"),
+    "D": ("dcf", None),
+    "A": ("afr", None),
+    "R1": ("ripple1", None),
+    "R16": ("ripple", None),
+    "preExOR": ("preexor", None),
+    "MCExOR": ("mcexor", None),
+}
+
+#: Default order in which the figures plot the scheme bars.
+DEFAULT_SCHEME_LABELS: Tuple[str, ...] = ("S", "D", "R1", "A", "R16")
+
+
+@dataclass
+class ScenarioConfig:
+    """Everything needed to run one simulation."""
+
+    topology: TopologySpec
+    scheme_label: str = "D"
+    route_set: str = "ROUTE0"
+    active_flows: Optional[Sequence[int]] = None  # None = all flows in the spec
+    bit_error_rate: float = 1e-6
+    duration_s: float = 1.0
+    warmup_s: float = 0.0
+    seed: int = 1
+    phy: Optional[PhyParams] = None
+    tcp_window: int = 64
+    max_forwarders: int = 5
+    max_aggregation: Optional[int] = None
+
+
+@dataclass
+class ScenarioResult:
+    """Per-flow results plus handy aggregates for one simulation run."""
+
+    config: ScenarioConfig
+    flows: List[FlowResult] = field(default_factory=list)
+    voip_quality: Dict[int, object] = field(default_factory=dict)
+    events_processed: int = 0
+
+    @property
+    def total_throughput_mbps(self) -> float:
+        return total_throughput_mbps([f for f in self.flows if f.kind == "tcp"])
+
+    def flow_throughput(self, flow_id: int) -> float:
+        for flow in self.flows:
+            if flow.flow_id == flow_id:
+                return flow.throughput_mbps
+        raise KeyError(f"flow {flow_id} not in results")
+
+    @property
+    def reordering_ratio(self) -> float:
+        received = sum(f.packets_received for f in self.flows if f.kind == "tcp")
+        reordered = sum(f.reordered for f in self.flows if f.kind == "tcp")
+        return reordered / received if received else 0.0
+
+
+def resolve_scheme(scheme_label: str, default_route_set: str) -> Tuple[str, str]:
+    """Map a paper scheme label onto (library scheme, route set)."""
+    if scheme_label not in PAPER_SCHEMES:
+        raise ValueError(f"unknown scheme label {scheme_label!r}; known: {sorted(PAPER_SCHEMES)}")
+    scheme, route_override = PAPER_SCHEMES[scheme_label]
+    return scheme, route_override or default_route_set
+
+
+def build_network(config: ScenarioConfig) -> Tuple[WirelessNetwork, StaticRouting]:
+    """Create the network, install the scheme's stack and the transport layer."""
+    scheme, route_set = resolve_scheme(config.scheme_label, config.route_set)
+    topology = config.topology
+    if route_set not in topology.route_sets:
+        raise KeyError(f"topology {topology.name} has no route set {route_set!r}")
+    network = WirelessNetwork(
+        phy=config.phy,
+        error_model=BitErrorModel(config.bit_error_rate),
+        seed=config.seed,
+    )
+    network.add_nodes(topology.positions)
+    routing = StaticRouting(topology.routes(route_set), max_forwarders=config.max_forwarders)
+    mac_kwargs = {}
+    if config.max_aggregation is not None:
+        mac_kwargs["max_aggregation"] = config.max_aggregation
+    network.install_stack(scheme, routing, **mac_kwargs)
+    network.install_transport()
+    return network, routing
+
+
+def _active_flows(config: ScenarioConfig) -> List[FlowSpec]:
+    if config.active_flows is None:
+        return list(config.topology.flows)
+    wanted = set(config.active_flows)
+    return [flow for flow in config.topology.flows if flow.flow_id in wanted]
+
+
+def run_scenario(config: ScenarioConfig) -> ScenarioResult:
+    """Build, run and summarise one scenario."""
+    network, _routing = build_network(config)
+    duration_ns = seconds(config.duration_s)
+    flows = _active_flows(config)
+    sinks: Dict[int, TcpSink] = {}
+    receivers: Dict[int, UdpReceiver] = {}
+    senders: Dict[int, object] = {}
+    voip_flows: Dict[int, VoipFlow] = {}
+    for flow in flows:
+        src_host = network.node(flow.src).transport
+        dst_host = network.node(flow.dst).transport
+        if flow.kind == "tcp":
+            sender = TcpSender(
+                network.sim, src_host, flow.flow_id, flow.dst, awnd_segments=config.tcp_window
+            )
+            sink = TcpSink(network.sim, dst_host, flow.flow_id, peer=flow.src)
+            FtpApplication(sender).start()
+            sinks[flow.flow_id] = sink
+            senders[flow.flow_id] = sender
+        elif flow.kind == "web":
+            sender = TcpSender(
+                network.sim, src_host, flow.flow_id, flow.dst, awnd_segments=config.tcp_window
+            )
+            sink = TcpSink(network.sim, dst_host, flow.flow_id, peer=flow.src)
+            web = WebFlow(network.sim, sender, network.rng.stream(f"web-{flow.flow_id}"))
+            web.start()
+            sinks[flow.flow_id] = sink
+            senders[flow.flow_id] = sender
+        elif flow.kind == "udp-saturating":
+            udp_sender = UdpSender(network.sim, src_host, flow.flow_id, flow.dst)
+            receiver = UdpReceiver(network.sim, dst_host, flow.flow_id)
+            source = SaturatingSource(network.sim, udp_sender, network.node(flow.src).mac)
+            source.start()
+            receivers[flow.flow_id] = receiver
+            senders[flow.flow_id] = udp_sender
+        elif flow.kind == "voip":
+            udp_sender = UdpSender(network.sim, src_host, flow.flow_id, flow.dst)
+            receiver = UdpReceiver(network.sim, dst_host, flow.flow_id)
+            voip = VoipFlow(
+                network.sim,
+                udp_sender,
+                receiver,
+                network.rng.stream(f"voip-{flow.flow_id}"),
+            )
+            voip.start()
+            receivers[flow.flow_id] = receiver
+            voip_flows[flow.flow_id] = voip
+            senders[flow.flow_id] = udp_sender
+        else:
+            raise ValueError(f"unknown flow kind {flow.kind!r}")
+    network.run_seconds(config.warmup_s + config.duration_s)
+    result = ScenarioResult(config=config, events_processed=network.sim.processed_events)
+    for flow in flows:
+        if flow.flow_id in sinks:
+            result.flows.append(
+                summarize_tcp_flow(flow.flow_id, flow.src, flow.dst, sinks[flow.flow_id], duration_ns)
+            )
+        elif flow.flow_id in receivers:
+            sender = senders[flow.flow_id]
+            sent = getattr(sender, "stats").sent
+            result.flows.append(
+                summarize_udp_flow(
+                    flow.flow_id, flow.src, flow.dst, receivers[flow.flow_id], sent, duration_ns
+                )
+            )
+    for flow_id, voip in voip_flows.items():
+        result.voip_quality[flow_id] = voip.quality()
+    return result
+
+
+def sweep_schemes(
+    base_config: ScenarioConfig, scheme_labels: Sequence[str] = DEFAULT_SCHEME_LABELS
+) -> Dict[str, ScenarioResult]:
+    """Run the same scenario once per scheme label (the bars of one figure panel)."""
+    results: Dict[str, ScenarioResult] = {}
+    for label in scheme_labels:
+        config = ScenarioConfig(**{**base_config.__dict__, "scheme_label": label})
+        results[label] = run_scenario(config)
+    return results

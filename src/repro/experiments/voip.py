@@ -1,0 +1,95 @@
+"""VoIP quality (Mean Opinion Score): Table III.
+
+The Fig. 1 topology carries 96 kb/s on-off VoIP streams over UDP at a
+6 Mb/s PHY (both data and basic rates): flows 1-10 between stations 0 and
+3, 11-20 between 0 and 4, 21-30 between 5 and 7.  Table III reports the
+average MoS when flows 1..10, 1..20 and 1..30 are active, for BER 1e-5
+and 1e-6, under DCF/ROUTE0, AFR/ROUTE0 and RIPPLE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.runner import ScenarioConfig, run_scenario
+from repro.phy.params import LOW_RATE_PHY
+from repro.topology.spec import FlowSpec, TopologySpec
+from repro.topology.standard import fig1_topology
+
+#: Schemes reported in Table III.
+VOIP_SCHEMES: tuple[str, ...] = ("D", "A", "R16")
+#: Number of VoIP streams per source/destination pair.
+VOIP_FLOWS_PER_PAIR = 10
+#: Flow-count groups reported in Table III ("1..10", "1..20", "1..30").
+VOIP_FLOW_GROUPS: Tuple[int, ...] = (10, 20, 30)
+
+
+def voip_topology(flows_per_pair: int = VOIP_FLOWS_PER_PAIR) -> TopologySpec:
+    """The Fig. 1 topology carrying VoIP streams instead of TCP flows."""
+    base = fig1_topology()
+    pairs = [(0, 3), (0, 4), (5, 7)]
+    flows: List[FlowSpec] = []
+    flow_id = 1
+    for src, dst in pairs:
+        for _ in range(flows_per_pair):
+            flows.append(
+                FlowSpec(flow_id=flow_id, src=src, dst=dst, kind="voip", label=f"voip {src}->{dst}")
+            )
+            flow_id += 1
+    base.flows = flows
+    return base
+
+
+@dataclass
+class VoipResult:
+    """Table III: mean MoS per scheme per number of active flows."""
+
+    bit_error_rate: float
+    #: mos[scheme_label][n_flows] = average MoS over the active flows
+    mos: Dict[str, Dict[int, float]] = field(default_factory=dict)
+    #: loss[scheme_label][n_flows] = average effective loss rate (late + lost)
+    loss: Dict[str, Dict[int, float]] = field(default_factory=dict)
+
+
+def run_voip(
+    bit_error_rate: float = 1e-6,
+    schemes: Sequence[str] = VOIP_SCHEMES,
+    flow_groups: Sequence[int] = VOIP_FLOW_GROUPS,
+    duration_s: float = 2.0,
+    seed: int = 1,
+) -> VoipResult:
+    """Reproduce one BER column group of Table III."""
+    topology = voip_topology()
+    result = VoipResult(bit_error_rate=bit_error_rate)
+    for label in schemes:
+        result.mos[label] = {}
+        result.loss[label] = {}
+        for n_flows in flow_groups:
+            config = ScenarioConfig(
+                topology=topology,
+                scheme_label=label,
+                route_set="ROUTE0",
+                active_flows=list(range(1, n_flows + 1)),
+                bit_error_rate=bit_error_rate,
+                duration_s=duration_s,
+                seed=seed,
+                phy=LOW_RATE_PHY,
+            )
+            outcome = run_scenario(config)
+            qualities = list(outcome.voip_quality.values())
+            if qualities:
+                result.mos[label][n_flows] = sum(q.mos for q in qualities) / len(qualities)
+                result.loss[label][n_flows] = sum(q.loss_rate for q in qualities) / len(qualities)
+            else:
+                result.mos[label][n_flows] = 1.0
+                result.loss[label][n_flows] = 1.0
+    return result
+
+
+def run_table3(duration_s: float = 2.0, seed: int = 1) -> Dict[float, VoipResult]:
+    """Both BER operating points of Table III."""
+    return {
+        1e-5: run_voip(1e-5, duration_s=duration_s, seed=seed),
+        1e-6: run_voip(1e-6, duration_s=duration_s, seed=seed),
+    }

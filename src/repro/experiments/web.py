@@ -1,0 +1,73 @@
+"""Short-lived TCP transfers (web traffic): Fig. 8.
+
+The Fig. 1 topology carries 10 ON/OFF web flows between each of the three
+source/destination pairs (flows 1-10 on 0→3, 11-20 on 0→4, 21-30 on
+5→7): Pareto transfer sizes (mean 80 KB, shape 1.5) separated by
+exponential think times (mean 1 s).  Fig. 8 plots the sum throughput of
+all active flows for DCF, AFR and RIPPLE on ROUTE0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Sequence
+
+from repro.experiments.runner import ScenarioConfig, run_scenario
+from repro.topology.spec import FlowSpec, TopologySpec
+from repro.topology.standard import fig1_topology
+
+#: Schemes plotted in Fig. 8.
+WEB_SCHEMES: tuple[str, ...] = ("D", "A", "R16")
+#: Number of web users per source/destination pair (Section IV-D).
+WEB_FLOWS_PER_PAIR = 10
+
+
+def web_topology(flows_per_pair: int = WEB_FLOWS_PER_PAIR) -> TopologySpec:
+    """The Fig. 1 topology re-flavoured with ``flows_per_pair`` web flows per pair."""
+    base = fig1_topology()
+    pairs = [(0, 3), (0, 4), (5, 7)]
+    flows: List[FlowSpec] = []
+    flow_id = 1
+    for src, dst in pairs:
+        for _ in range(flows_per_pair):
+            flows.append(FlowSpec(flow_id=flow_id, src=src, dst=dst, kind="web", label=f"web {src}->{dst}"))
+            flow_id += 1
+    base.flows = flows
+    return base
+
+
+@dataclass
+class WebResult:
+    """Fig. 8: sum throughput of all active web flows per scheme."""
+
+    #: total_mbps[scheme_label] = sum throughput of the 30 web flows
+    total_mbps: Dict[str, float] = field(default_factory=dict)
+    #: transfers_completed[scheme_label] = completed web objects across flows
+    transfers_completed: Dict[str, int] = field(default_factory=dict)
+
+
+def run_web_traffic(
+    schemes: Sequence[str] = WEB_SCHEMES,
+    flows_per_pair: int = WEB_FLOWS_PER_PAIR,
+    bit_error_rate: float = 1e-6,
+    duration_s: float = 2.0,
+    seed: int = 1,
+) -> WebResult:
+    """Reproduce Fig. 8 (sum throughput of the short-transfer mix)."""
+    topology = web_topology(flows_per_pair)
+    result = WebResult()
+    for label in schemes:
+        config = ScenarioConfig(
+            topology=topology,
+            scheme_label=label,
+            route_set="ROUTE0",
+            bit_error_rate=bit_error_rate,
+            duration_s=duration_s,
+            seed=seed,
+        )
+        outcome = run_scenario(config)
+        result.total_mbps[label] = outcome.total_throughput_mbps
+        result.transfers_completed[label] = sum(
+            flow.packets_received for flow in outcome.flows
+        )
+    return result

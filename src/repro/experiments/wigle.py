@@ -1,0 +1,74 @@
+"""Wigle topology throughput measurements: Fig. 10(a)-(d).
+
+Eight station pairs (1-3 hops apart) on the reconstructed Wigle topology
+are measured one at a time, at 6 Mb/s and 216 Mb/s PHY rates, with and
+without hidden S→R traffic, under DCF, AFR and RIPPLE (each using the
+same predetermined relay path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence
+
+from repro.experiments.runner import ScenarioConfig, run_scenario
+from repro.phy.params import HIGH_RATE_PHY, LOW_RATE_PHY, PhyParams
+from repro.topology.wigle import wigle_topology
+
+#: Schemes plotted in Fig. 10.
+WIGLE_SCHEMES: tuple[str, ...] = ("D", "A", "R16")
+
+
+@dataclass
+class WigleResult:
+    """One panel of Fig. 10: per-flow throughput for each scheme."""
+
+    data_rate_mbps: float
+    hidden_traffic: bool
+    #: throughput_mbps[scheme_label][flow_label] = measured flow throughput
+    throughput_mbps: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+
+def _phy_for_rate(data_rate_mbps: float) -> PhyParams:
+    if data_rate_mbps >= 100:
+        return HIGH_RATE_PHY
+    return LOW_RATE_PHY
+
+
+def run_wigle(
+    data_rate_mbps: float = 6.0,
+    hidden_traffic: bool = False,
+    schemes: Sequence[str] = WIGLE_SCHEMES,
+    bit_error_rate: float = 1e-6,
+    duration_s: float = 1.0,
+    seed: int = 1,
+    max_flows: int | None = None,
+) -> WigleResult:
+    """Reproduce one panel of Fig. 10.
+
+    ``max_flows`` limits how many of the eight measured pairs are run
+    (useful for quick benchmark configurations); ``None`` runs all eight.
+    """
+    topology = wigle_topology(include_hidden=True)
+    measured = [flow for flow in topology.flows if flow.flow_id < 100]
+    if max_flows is not None:
+        measured = measured[:max_flows]
+    hidden_ids = [flow.flow_id for flow in topology.flows if flow.flow_id >= 100]
+    result = WigleResult(data_rate_mbps=data_rate_mbps, hidden_traffic=hidden_traffic)
+    for label in schemes:
+        result.throughput_mbps[label] = {}
+        for flow in measured:
+            active = [flow.flow_id] + (hidden_ids if hidden_traffic else [])
+            config = ScenarioConfig(
+                topology=topology,
+                scheme_label=label,
+                route_set="ROUTE0",
+                active_flows=active,
+                bit_error_rate=bit_error_rate,
+                duration_s=duration_s,
+                seed=seed,
+                phy=_phy_for_rate(data_rate_mbps),
+            )
+            outcome = run_scenario(config)
+            result.throughput_mbps[label][flow.label] = outcome.flow_throughput(flow.flow_id)
+    return result

@@ -1,0 +1,33 @@
+"""IEEE 802.11 MAC substrate: timing, frames, queues, DCF and AFR.
+
+The opportunistic forwarding MACs (preExOR, MCExOR) live in
+:mod:`repro.routing`; the RIPPLE MAC (the paper's contribution) lives in
+:mod:`repro.core`.  They all build on the pieces exported here.
+"""
+
+from repro.mac.afr import AFR_MAX_AGGREGATION, AfrMac
+from repro.mac.base import ChannelAccess, MacLayer, RouteDecision
+from repro.mac.dcf import DcfMac
+from repro.mac.frames import FrameKind, MacFrame, SubPacket, build_ack_frame, build_data_frame
+from repro.mac.queues import DropTailQueue, ReorderBuffer
+from repro.mac.stats import MacStats
+from repro.mac.timing import DEFAULT_TIMING, MacTiming
+
+__all__ = [
+    "AFR_MAX_AGGREGATION",
+    "AfrMac",
+    "ChannelAccess",
+    "MacLayer",
+    "RouteDecision",
+    "DcfMac",
+    "FrameKind",
+    "MacFrame",
+    "SubPacket",
+    "build_ack_frame",
+    "build_data_frame",
+    "DropTailQueue",
+    "ReorderBuffer",
+    "MacStats",
+    "MacTiming",
+    "DEFAULT_TIMING",
+]

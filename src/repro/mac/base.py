@@ -1,0 +1,243 @@
+"""MAC-layer base classes shared by every scheme in the paper.
+
+Three pieces live here:
+
+* :class:`RouteDecision` — what the network layer tells the MAC about a
+  packet: either a concrete next hop (predetermined / shortest-path
+  routing) or a priority-ordered forwarder list (opportunistic schemes).
+* :class:`ChannelAccess` — the DCF channel-access procedure (DIFS wait +
+  slotted binary-exponential backoff with freezing), reused by every
+  scheme: plain DCF and AFR use it for every frame, RIPPLE / preExOR /
+  MCExOR use it for source transmissions while relays ride on SIFS-based
+  timing instead.
+* :class:`MacLayer` — the abstract base holding the radio wiring,
+  busy/idle listener dispatch, upper-layer delivery and statistics.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.mac.stats import MacStats
+from repro.mac.timing import MacTiming
+from repro.packet import Packet
+from repro.phy.params import PhyParams
+from repro.phy.radio import Radio
+from repro.sim.engine import Event, Simulator
+
+
+@dataclass(frozen=True)
+class RouteDecision:
+    """Routing output attached to a packet when it is handed to the MAC.
+
+    ``next_hop`` is used by predetermined/shortest-path forwarding;
+    ``forwarder_list`` (priority-ordered, closest-to-destination first,
+    *excluding* the destination itself) is used by the opportunistic
+    schemes.  ``final_dst`` is the packet's destination node.
+    """
+
+    final_dst: int
+    next_hop: Optional[int] = None
+    forwarder_list: Tuple[int, ...] = ()
+
+
+class ChannelAccess:
+    """IEEE 802.11 DCF channel access: DIFS + slotted exponential backoff.
+
+    The owner MAC forwards the radio's busy/idle transitions to
+    :meth:`notify_busy` / :meth:`notify_idle`; when the medium has been won
+    the ``on_granted`` callback fires.  The backoff counter is frozen (not
+    redrawn) across busy periods, and the contention window doubles on
+    :meth:`record_failure` and resets on :meth:`record_success`, as in the
+    standard.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        radio: Radio,
+        timing: MacTiming,
+        rng: np.random.Generator,
+        on_granted: Callable[[], None],
+    ) -> None:
+        self._sim = sim
+        self._radio = radio
+        self._timing = timing
+        self._rng = rng
+        self._on_granted = on_granted
+        self.cw = timing.cw_min
+        self._active = False
+        self._remaining_slots: Optional[int] = None
+        self._difs_event: Optional[Event] = None
+        self._slot_event: Optional[Event] = None
+
+    # ------------------------------------------------------------------
+    # Control
+    # ------------------------------------------------------------------
+    @property
+    def in_progress(self) -> bool:
+        return self._active
+
+    def request(self) -> None:
+        """Start (or continue) contending for the medium."""
+        if self._active:
+            return
+        self._active = True
+        self._try_resume()
+
+    def cancel(self) -> None:
+        """Abort the current contention attempt."""
+        self._active = False
+        self._remaining_slots = None
+        self._cancel_timers()
+
+    def record_success(self) -> None:
+        """Reset the contention window after a successful exchange."""
+        self.cw = self._timing.cw_min
+
+    def record_failure(self) -> None:
+        """Double the contention window after a failed exchange."""
+        self.cw = min(self.cw * 2, self._timing.cw_max)
+
+    # ------------------------------------------------------------------
+    # Radio state transitions (forwarded by the owning MAC)
+    # ------------------------------------------------------------------
+    def notify_busy(self) -> None:
+        self._cancel_timers()
+
+    def notify_idle(self) -> None:
+        if self._active:
+            self._try_resume()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _cancel_timers(self) -> None:
+        if self._difs_event is not None:
+            self._difs_event.cancel()
+            self._difs_event = None
+        if self._slot_event is not None:
+            self._slot_event.cancel()
+            self._slot_event = None
+
+    def _try_resume(self) -> None:
+        if self._radio.is_channel_busy:
+            return  # we will be poked again on the idle transition
+        self._cancel_timers()
+        self._difs_event = self._sim.schedule(self._timing.difs_ns, self._difs_elapsed)
+
+    def _difs_elapsed(self) -> None:
+        self._difs_event = None
+        if self._remaining_slots is None:
+            self._remaining_slots = int(self._rng.integers(0, self.cw))
+        self._count_down()
+
+    def _count_down(self) -> None:
+        if self._remaining_slots <= 0:
+            self._active = False
+            self._remaining_slots = None
+            self._on_granted()
+            return
+        self._slot_event = self._sim.schedule(self._timing.slot_ns, self._slot_elapsed)
+
+    def _slot_elapsed(self) -> None:
+        self._slot_event = None
+        self._remaining_slots -= 1
+        self._count_down()
+
+
+class MacLayer(abc.ABC):
+    """Base class for every MAC variant in the library.
+
+    Sub-classes implement :meth:`enqueue` (accept a packet from the network
+    layer) and :meth:`on_frame_received` (react to a decoded frame); the
+    base class provides radio wiring, busy/idle listener dispatch (used by
+    the various SIFS/slot-based timers of the opportunistic schemes),
+    upper-layer delivery with duplicate suppression, and statistics.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        address: int,
+        radio: Radio,
+        phy: PhyParams,
+        timing: MacTiming,
+        rng: np.random.Generator,
+    ) -> None:
+        self.sim = sim
+        self.address = address
+        self.radio = radio
+        self.phy = phy
+        self.timing = timing
+        self.rng = rng
+        self.stats = MacStats()
+        self._upper_layer: Optional[Callable[[Packet], None]] = None
+        self._drop_handler: Optional[Callable[[Packet], None]] = None
+        self._busy_listeners: List[Callable[[], None]] = []
+        self._idle_listeners: List[Callable[[], None]] = []
+        self._delivered: set[tuple[int, int]] = set()
+        radio.attach_mac(self)
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def set_upper_layer(self, callback: Callable[[Packet], None]) -> None:
+        """Register the network-layer receive callback."""
+        self._upper_layer = callback
+
+    def set_drop_handler(self, callback: Callable[[Packet], None]) -> None:
+        """Register a callback fired when the MAC permanently drops a packet."""
+        self._drop_handler = callback
+
+    def add_busy_listener(self, callback: Callable[[], None]) -> None:
+        self._busy_listeners.append(callback)
+
+    def add_idle_listener(self, callback: Callable[[], None]) -> None:
+        self._idle_listeners.append(callback)
+
+    # ------------------------------------------------------------------
+    # Upper-layer interface
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def enqueue(self, packet: Packet, route: RouteDecision) -> bool:
+        """Accept a packet from the network layer; False if the queue dropped it."""
+
+    def deliver_up(self, packet: Packet, origin: int, mac_seq: int) -> None:
+        """Hand a received packet to the network layer, suppressing MAC duplicates."""
+        key = (origin, mac_seq)
+        if key in self._delivered:
+            self.stats.duplicate_deliveries += 1
+            return
+        self._delivered.add(key)
+        self.stats.packets_delivered += 1
+        if self._upper_layer is not None:
+            self._upper_layer(packet)
+
+    def report_drop(self, packet: Packet) -> None:
+        """Record a permanent MAC-level drop and notify the registered handler."""
+        self.stats.packets_dropped_retry += 1
+        if self._drop_handler is not None:
+            self._drop_handler(packet)
+
+    # ------------------------------------------------------------------
+    # Radio callbacks
+    # ------------------------------------------------------------------
+    def on_channel_busy(self) -> None:
+        for listener in self._busy_listeners:
+            listener()
+
+    def on_channel_idle(self) -> None:
+        for listener in self._idle_listeners:
+            listener()
+
+    @abc.abstractmethod
+    def on_frame_received(self, frame, errors) -> None:
+        """React to a frame decoded by the radio (with per-sub-packet error flags)."""
+
+    def on_transmission_complete(self, frame) -> None:
+        """Hook fired when one of our own transmissions leaves the air."""

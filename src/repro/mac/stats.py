@@ -1,0 +1,38 @@
+"""Per-MAC statistics counters.
+
+These counters feed the experiment reports (throughput is measured at the
+transport/application layer, but MAC counters are what explain *why* a
+scheme wins: retries, drops, relay activity, aggregation level).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MacStats:
+    """Counters kept by every MAC variant."""
+
+    data_frames_sent: int = 0
+    data_frames_received: int = 0
+    ack_frames_sent: int = 0
+    ack_frames_received: int = 0
+    relayed_data_frames: int = 0
+    relayed_ack_frames: int = 0
+    packets_enqueued: int = 0
+    packets_delivered: int = 0
+    packets_dropped_retry: int = 0
+    packets_dropped_queue: int = 0
+    duplicate_deliveries: int = 0
+    retransmissions: int = 0
+    ack_timeouts: int = 0
+    subpackets_sent: int = 0
+    aggregated_frames: int = 0
+
+    @property
+    def mean_aggregation(self) -> float:
+        """Average number of sub-packets per transmitted data frame."""
+        if self.data_frames_sent == 0:
+            return 0.0
+        return self.subpackets_sent / self.data_frames_sent

@@ -1,0 +1,26 @@
+"""Measurement helpers: flow summaries, re-ordering, VoIP MoS."""
+
+from repro.metrics.flows import FlowResult, summarize_tcp_flow, summarize_udp_flow, total_throughput_mbps
+from repro.metrics.mos import (
+    MOUTH_TO_EAR_DELAY_MS,
+    WIRELESS_DELAY_BUDGET_MS,
+    VoipQuality,
+    evaluate_voip,
+    mos,
+    mos_from_r,
+    r_factor,
+)
+
+__all__ = [
+    "FlowResult",
+    "summarize_tcp_flow",
+    "summarize_udp_flow",
+    "total_throughput_mbps",
+    "MOUTH_TO_EAR_DELAY_MS",
+    "WIRELESS_DELAY_BUDGET_MS",
+    "VoipQuality",
+    "evaluate_voip",
+    "mos",
+    "mos_from_r",
+    "r_factor",
+]

@@ -1,0 +1,32 @@
+"""Physical-layer substrate: propagation, bit errors, radios and the shared channel.
+
+This package replaces the NS-2 PHY the paper's evaluation runs on:
+
+* :mod:`repro.phy.params` — PHY rates, transmit power, reception and
+  carrier-sense thresholds (Table I of the paper).
+* :mod:`repro.phy.propagation` — the log-distance + log-normal shadowing
+  model (path-loss exponent 5, deviation 8 dB, 281 mW) used in Section IV.
+* :mod:`repro.phy.error_models` — the i.i.d. bit-error model (BER 1e-5 and
+  1e-6) applied per sub-packet, which is what makes partial retransmission
+  under aggregation meaningful.
+* :mod:`repro.phy.radio` / :mod:`repro.phy.channel` — half-duplex radios
+  attached to a shared broadcast channel with distance-based carrier
+  sensing, hidden terminals and collision (no-capture) semantics.
+"""
+
+from repro.phy.channel import Transmission, WirelessChannel
+from repro.phy.error_models import BitErrorModel, FrameErrorResult
+from repro.phy.params import PhyParams
+from repro.phy.propagation import ShadowingPropagation
+from repro.phy.radio import Radio, RadioState
+
+__all__ = [
+    "PhyParams",
+    "ShadowingPropagation",
+    "BitErrorModel",
+    "FrameErrorResult",
+    "Radio",
+    "RadioState",
+    "WirelessChannel",
+    "Transmission",
+]

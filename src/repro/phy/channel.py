@@ -1,0 +1,152 @@
+"""The shared broadcast medium.
+
+The channel is the single object through which every transmission flows.
+For each transmission it decides, per potential receiver,
+
+* whether the signal is strong enough to be *sensed* (contributes to
+  carrier sensing and can collide with other receptions),
+* whether it is strong enough to be *decoded* (candidate for delivery),
+
+using the shadowing propagation model with an independent per-link,
+per-frame fading draw — exactly the independence assumption the paper
+relies on ("losses between the source and different forwarders are
+independent").  Signals below the carrier-sense threshold are invisible,
+which is what creates hidden terminals in the Fig. 5(b), Wigle and
+Roofnet scenarios.
+
+Bit errors (the i.i.d. BER model) are applied at reception completion by
+the receiving radio via :meth:`WirelessChannel.apply_bit_errors`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.phy.error_models import BitErrorModel, FrameErrorResult
+from repro.phy.params import PhyParams
+from repro.phy.propagation import ShadowingPropagation, propagation_delay_ns
+from repro.phy.radio import Radio, Reception
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+
+@dataclass
+class Transmission:
+    """A frame in flight on the medium."""
+
+    transmission_id: int
+    frame: object
+    sender: Radio
+    start_time: int
+    duration_ns: int
+
+    @property
+    def end_time(self) -> int:
+        return self.start_time + self.duration_ns
+
+
+@dataclass
+class ChannelStats:
+    """Medium-wide counters used by experiments and tests."""
+
+    transmissions: int = 0
+    deliveries_attempted: int = 0
+
+
+class WirelessChannel:
+    """Shared wireless medium connecting every radio in the scenario."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        params: PhyParams,
+        propagation: Optional[ShadowingPropagation] = None,
+        error_model: Optional[BitErrorModel] = None,
+        rng: Optional[RandomStreams] = None,
+        model_propagation_delay: bool = True,
+    ) -> None:
+        self.sim = sim
+        self.params = params
+        self.propagation = propagation or ShadowingPropagation()
+        self.error_model = error_model or BitErrorModel()
+        self.rng = rng or RandomStreams()
+        self.model_propagation_delay = model_propagation_delay
+        self.stats = ChannelStats()
+        self._radios: List[Radio] = []
+        self._ids = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, radio: Radio) -> None:
+        """Add a radio to the medium (called from ``Radio.__init__``)."""
+        self._radios.append(radio)
+
+    @property
+    def radios(self) -> List[Radio]:
+        return list(self._radios)
+
+    # ------------------------------------------------------------------
+    # Transmission dispatch
+    # ------------------------------------------------------------------
+    def start_transmission(self, sender: Radio, frame, duration_ns: int) -> Transmission:
+        """Propagate ``frame`` from ``sender`` to every radio that can hear it."""
+        transmission = Transmission(
+            transmission_id=next(self._ids),
+            frame=frame,
+            sender=sender,
+            start_time=self.sim.now,
+            duration_ns=int(duration_ns),
+        )
+        self.stats.transmissions += 1
+        shadow_rng = self.rng.stream("shadowing")
+        for radio in self._radios:
+            if radio is sender:
+                continue
+            distance = self.distance(sender, radio)
+            power = self.propagation.received_power_dbm(
+                self.params.tx_power_dbm, distance, shadow_rng
+            )
+            if power < self.params.cs_threshold_dbm:
+                continue  # too weak even to sense: no carrier, no interference
+            decodable = power >= self.params.rx_threshold_dbm
+            reception = Reception(transmission=transmission, power_dbm=power, decodable=decodable)
+            delay = propagation_delay_ns(distance) if self.model_propagation_delay else 0
+            self.stats.deliveries_attempted += 1
+            self.sim.schedule(delay, radio._signal_start, reception)
+            self.sim.schedule(delay + transmission.duration_ns, radio._signal_end, reception)
+        self.sim.schedule(transmission.duration_ns, sender._end_own_transmission, transmission)
+        return transmission
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def apply_bit_errors(self, frame) -> FrameErrorResult:
+        """Run the i.i.d. BER model over a decoded frame's header and sub-packets."""
+        rng = self.rng.stream("biterror")
+        subpacket_bits = [subpacket.bits for subpacket in frame.subpackets]
+        return self.error_model.evaluate_frame(frame.header_bits, subpacket_bits, rng)
+
+    @staticmethod
+    def distance(a: Radio, b: Radio) -> float:
+        """Euclidean distance between two radios in metres."""
+        ax, ay = a.position
+        bx, by = b.position
+        return math.hypot(ax - bx, ay - by)
+
+    def link_delivery_probability(self, a: Radio, b: Radio, frame_bits: int = 8000) -> float:
+        """Expected frame delivery probability on link a→b.
+
+        Combines the shadowing outage probability with the BER-induced frame
+        error probability.  Used by the ETX metric and by topology helpers;
+        the per-frame simulation never uses this closed form.
+        """
+        distance = self.distance(a, b)
+        p_power = self.propagation.reception_probability(
+            self.params.tx_power_dbm, distance, self.params.rx_threshold_dbm
+        )
+        p_bits = self.error_model.success_probability(frame_bits)
+        return p_power * p_bits

@@ -1,0 +1,51 @@
+"""Physical-layer parameters (Table I of the paper).
+
+Two PHY profiles are used in the evaluation:
+
+* a high-rate profile — 216 Mb/s data rate, 54 Mb/s basic (control) rate —
+  used for the TCP experiments (Figs. 3-8), and
+* a low-rate profile — 6 Mb/s for both data and basic rate — used for the
+  VoIP experiments (Table III) and the large Wigle/Roofnet topologies
+  (Figs. 10 and 12).
+
+The PLCP preamble + header occupies a fixed 20 microseconds regardless of
+rate (``T_phyhdr`` in the paper's overhead formulas).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.sim.units import transmission_time_ns, us
+
+
+@dataclass(frozen=True)
+class PhyParams:
+    """Radio and modulation parameters shared by every node in a scenario."""
+
+    data_rate_bps: float = 216e6
+    basic_rate_bps: float = 54e6
+    phy_header_ns: int = us(20)
+    tx_power_dbm: float = 24.49  # 281 mW, Section IV
+    rx_threshold_dbm: float = -135.5  # nominal decode range ~250 m (see propagation)
+    cs_threshold_dbm: float = -145.5  # nominal carrier-sense range ~400 m
+    noise_floor_dbm: float = -170.0
+
+    def data_airtime_ns(self, payload_bits: int) -> int:
+        """Airtime of a frame body of ``payload_bits`` at the data rate, plus PLCP."""
+        return self.phy_header_ns + transmission_time_ns(payload_bits, self.data_rate_bps)
+
+    def control_airtime_ns(self, payload_bits: int) -> int:
+        """Airtime of a control frame (ACK) of ``payload_bits`` at the basic rate, plus PLCP."""
+        return self.phy_header_ns + transmission_time_ns(payload_bits, self.basic_rate_bps)
+
+    def with_rates(self, data_rate_bps: float, basic_rate_bps: float) -> "PhyParams":
+        """A copy of these parameters with different data / basic rates."""
+        return replace(self, data_rate_bps=data_rate_bps, basic_rate_bps=basic_rate_bps)
+
+
+#: The default high-rate profile from Table I (216 / 54 Mb/s).
+HIGH_RATE_PHY = PhyParams()
+
+#: The low-rate profile used for VoIP and the large topologies (6 / 6 Mb/s).
+LOW_RATE_PHY = PhyParams(data_rate_bps=6e6, basic_rate_bps=6e6)

@@ -1,0 +1,100 @@
+"""Log-distance path loss with log-normal shadowing.
+
+Section IV of the paper uses the NS-2 *Shadowing* propagation model with a
+path-loss exponent of 5, a shadowing deviation of 8 dB and a transmission
+power of 281 mW, "in which frame losses are proportional to the distance
+between stations" and losses on different links are independent.
+
+The model implemented here is the same one NS-2 implements:
+
+    Pr(d) [dBm] = Pt [dBm] - PL(d0) - 10 * beta * log10(d / d0) + X_sigma
+
+where ``PL(d0)`` is the free-space (Friis) loss at the reference distance
+``d0`` (1 m) and ``X_sigma`` is a zero-mean Gaussian with standard
+deviation ``sigma`` dB drawn independently for every frame on every link.
+
+Whether a given frame is *decodable* (received power above the reception
+threshold) or merely *sensed* (above the carrier-sense threshold) is
+decided by the channel from the power this model returns.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Speed of light, used for the Friis reference loss and propagation delay.
+SPEED_OF_LIGHT_M_PER_S = 3.0e8
+
+
+@dataclass(frozen=True)
+class ShadowingPropagation:
+    """NS-2 style log-normal shadowing propagation model."""
+
+    path_loss_exponent: float = 5.0
+    shadowing_deviation_db: float = 8.0
+    reference_distance_m: float = 1.0
+    frequency_hz: float = 2.4e9
+
+    def reference_loss_db(self) -> float:
+        """Free-space path loss at the reference distance (Friis)."""
+        wavelength = SPEED_OF_LIGHT_M_PER_S / self.frequency_hz
+        return 20.0 * math.log10(4.0 * math.pi * self.reference_distance_m / wavelength)
+
+    def mean_received_power_dbm(self, tx_power_dbm: float, distance_m: float) -> float:
+        """Deterministic (no shadowing) received power at ``distance_m``."""
+        if distance_m <= 0:
+            return tx_power_dbm
+        distance_m = max(distance_m, self.reference_distance_m)
+        path_loss = self.reference_loss_db() + 10.0 * self.path_loss_exponent * math.log10(
+            distance_m / self.reference_distance_m
+        )
+        return tx_power_dbm - path_loss
+
+    def received_power_dbm(
+        self, tx_power_dbm: float, distance_m: float, rng: np.random.Generator
+    ) -> float:
+        """Received power with an independent shadowing draw for this frame."""
+        shadowing = rng.normal(0.0, self.shadowing_deviation_db)
+        return self.mean_received_power_dbm(tx_power_dbm, distance_m) + shadowing
+
+    def reception_probability(
+        self, tx_power_dbm: float, distance_m: float, threshold_dbm: float
+    ) -> float:
+        """Closed-form P[received power >= threshold] at ``distance_m``.
+
+        Used by tests and by the route/forwarder-selection metrics (ETX), not
+        by the per-frame channel simulation, which draws actual powers.
+        """
+        mean = self.mean_received_power_dbm(tx_power_dbm, distance_m)
+        if self.shadowing_deviation_db <= 0:
+            return 1.0 if mean >= threshold_dbm else 0.0
+        z = (threshold_dbm - mean) / self.shadowing_deviation_db
+        return 0.5 * math.erfc(z / math.sqrt(2.0))
+
+    def range_for_probability(
+        self, tx_power_dbm: float, threshold_dbm: float, probability: float
+    ) -> float:
+        """Distance at which the reception probability equals ``probability``.
+
+        Convenience used when laying out synthetic topologies: e.g. "place
+        relays at the 95 %-reception distance and the end points at the
+        10 %-reception distance".
+        """
+        if not 0.0 < probability < 1.0:
+            raise ValueError("probability must be strictly between 0 and 1")
+        # Invert: P[mean + X >= threshold] = probability
+        #   mean = threshold - sigma * Phi^{-1}(1 - probability)
+        from scipy.stats import norm  # local import: scipy is an optional heavy dep
+
+        offset = self.shadowing_deviation_db * norm.ppf(1.0 - probability)
+        target_mean = threshold_dbm + offset
+        loss_db = tx_power_dbm - target_mean - self.reference_loss_db()
+        return self.reference_distance_m * 10.0 ** (loss_db / (10.0 * self.path_loss_exponent))
+
+
+def propagation_delay_ns(distance_m: float) -> int:
+    """Line-of-sight propagation delay in integer nanoseconds."""
+    return int(round(distance_m / SPEED_OF_LIGHT_M_PER_S * 1e9))

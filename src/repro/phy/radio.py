@@ -1,0 +1,194 @@
+"""Half-duplex radio attached to the shared wireless channel.
+
+A :class:`Radio` models one station's transceiver.  It tracks
+
+* its own transmissions (a half-duplex radio cannot decode anything while
+  it transmits),
+* the set of signals currently arriving that are strong enough to be
+  *sensed* (these make the channel "busy" for carrier sensing), and
+* which of those signals are strong enough to be *decoded*.
+
+Two overlapping sensed signals at a receiver destroy each other (the
+standard NS-2 no-capture collision model); this is how both "regular" and
+"hidden" collisions from Section III arise — a hidden terminal's signal is
+not sensed by the transmitter but still collides at the receiver.
+
+The radio reports three things to the MAC attached to it:
+
+* channel busy / idle transitions (used for backoff freezing and for the
+  "idle for ``i * slot + SIFS``" timers of RIPPLE's mTXOP),
+* successfully decoded frames together with per-sub-packet error flags,
+* completion of its own transmissions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.phy.channel import Transmission, WirelessChannel
+
+
+class RadioState(enum.Enum):
+    """Coarse transceiver state, mostly useful for assertions and debugging."""
+
+    IDLE = "idle"
+    RECEIVING = "receiving"
+    TRANSMITTING = "transmitting"
+
+
+@dataclass
+class Reception:
+    """One signal arriving at one receiver."""
+
+    transmission: "Transmission"
+    power_dbm: float
+    decodable: bool
+    interfered: bool = False
+
+
+@dataclass
+class RadioStats:
+    """Per-radio PHY counters used by tests and the experiment reports."""
+
+    frames_sent: int = 0
+    frames_decoded: int = 0
+    frames_collided: int = 0
+    frames_header_error: int = 0
+    airtime_tx_ns: int = 0
+
+
+class Radio:
+    """A station's half-duplex transceiver."""
+
+    def __init__(self, node_id: int, position: tuple[float, float], channel: "WirelessChannel") -> None:
+        self.node_id = node_id
+        self.position = position
+        self.channel = channel
+        self.mac = None  # attached later by the node wiring
+        self.stats = RadioStats()
+        self._tx_until: Optional[int] = None
+        self._current_tx: Optional["Transmission"] = None
+        self._receptions: Dict[int, Reception] = {}
+        self._idle_since: int = 0
+        channel.register(self)
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach_mac(self, mac) -> None:
+        """Attach the MAC entity that will receive this radio's callbacks."""
+        self.mac = mac
+
+    # ------------------------------------------------------------------
+    # State queries
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> RadioState:
+        if self._current_tx is not None:
+            return RadioState.TRANSMITTING
+        if self._receptions:
+            return RadioState.RECEIVING
+        return RadioState.IDLE
+
+    @property
+    def is_transmitting(self) -> bool:
+        return self._current_tx is not None
+
+    @property
+    def is_channel_busy(self) -> bool:
+        """Carrier-sense result: busy while transmitting or sensing any signal."""
+        return self._current_tx is not None or bool(self._receptions)
+
+    @property
+    def idle_since(self) -> int:
+        """Simulation time at which the channel last became idle at this radio."""
+        return self._idle_since
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def transmit(self, frame, duration_ns: int) -> "Transmission":
+        """Start transmitting ``frame`` for ``duration_ns``.
+
+        The MAC is responsible for having performed carrier sensing; if it
+        transmits anyway while signals are arriving, those receptions are
+        destroyed (this is exactly what happens to a real half-duplex radio).
+        """
+        was_busy = self.is_channel_busy
+        transmission = self.channel.start_transmission(self, frame, duration_ns)
+        self._current_tx = transmission
+        self._tx_until = transmission.end_time
+        for reception in self._receptions.values():
+            reception.interfered = True
+        self.stats.frames_sent += 1
+        self.stats.airtime_tx_ns += duration_ns
+        if not was_busy:
+            self._notify_busy()
+        return transmission
+
+    def _end_own_transmission(self, transmission: "Transmission") -> None:
+        """Channel callback: our own transmission just finished."""
+        self._current_tx = None
+        self._tx_until = None
+        if not self.is_channel_busy:
+            self._mark_idle()
+        if self.mac is not None:
+            self.mac.on_transmission_complete(transmission.frame)
+
+    # ------------------------------------------------------------------
+    # Reception (channel callbacks)
+    # ------------------------------------------------------------------
+    def _signal_start(self, reception: Reception) -> None:
+        was_busy = self.is_channel_busy
+        if self._current_tx is not None:
+            reception.interfered = True
+        if self._receptions:
+            # No capture: a new overlapping signal corrupts everything in the air.
+            reception.interfered = True
+            for other in self._receptions.values():
+                other.interfered = True
+        self._receptions[reception.transmission.transmission_id] = reception
+        if not was_busy:
+            self._notify_busy()
+
+    def _signal_end(self, reception: Reception) -> None:
+        self._receptions.pop(reception.transmission.transmission_id, None)
+        # Update carrier-sense state *before* delivering the frame: protocol
+        # timers of the form "channel idle for T" (RIPPLE's relay deferral)
+        # must see the idle period as starting at the end of this frame.
+        if not self.is_channel_busy:
+            self._mark_idle()
+        self._deliver_if_possible(reception)
+
+    def _deliver_if_possible(self, reception: Reception) -> None:
+        if not reception.decodable:
+            return
+        if reception.interfered:
+            self.stats.frames_collided += 1
+            return
+        frame = reception.transmission.frame
+        result = self.channel.apply_bit_errors(frame)
+        if not result.header_ok:
+            self.stats.frames_header_error += 1
+            return
+        self.stats.frames_decoded += 1
+        if self.mac is not None:
+            self.mac.on_frame_received(frame, result)
+
+    # ------------------------------------------------------------------
+    # Busy / idle notifications
+    # ------------------------------------------------------------------
+    def _notify_busy(self) -> None:
+        if self.mac is not None:
+            self.mac.on_channel_busy()
+
+    def _mark_idle(self) -> None:
+        self._idle_since = self.channel.sim.now
+        if self.mac is not None:
+            self.mac.on_channel_idle()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Radio(node={self.node_id}, state={self.state.value})"

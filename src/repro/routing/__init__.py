@@ -1,0 +1,23 @@
+"""Routing and opportunistic forwarding: ETX, SPR, predetermined routes, preExOR, MCExOR."""
+
+from repro.routing.agent import NetworkAgent
+from repro.routing.base import RouteNotFound, RoutingProtocol
+from repro.routing.etx import EtxParams, build_connectivity_graph, link_etx, path_etx
+from repro.routing.mcexor import McExorMac
+from repro.routing.preexor import PreExorMac
+from repro.routing.shortest_path import ShortestPathRouting
+from repro.routing.static import StaticRouting
+
+__all__ = [
+    "NetworkAgent",
+    "RouteNotFound",
+    "RoutingProtocol",
+    "EtxParams",
+    "build_connectivity_graph",
+    "link_etx",
+    "path_etx",
+    "McExorMac",
+    "PreExorMac",
+    "ShortestPathRouting",
+    "StaticRouting",
+]

@@ -1,0 +1,96 @@
+"""Per-node network layer.
+
+The :class:`NetworkAgent` sits between the transport layer and the MAC of
+one node.  Its job is intentionally thin — the interesting behaviour of
+every scheme in the paper lives in the MAC/forwarding layer — but it is
+the single place where routing decisions are attached to packets:
+
+* packets originated locally (or, for hop-by-hop schemes, packets being
+  forwarded) are stamped with a :class:`~repro.mac.base.RouteDecision`
+  obtained from the routing protocol and pushed into the MAC;
+* packets delivered by the MAC are either handed to the local transport
+  layer (when this node is the destination) or forwarded.
+
+For opportunistic MACs (RIPPLE) relaying happens entirely inside the MAC
+and the agent only ever sees packets addressed to this node; for
+preExOR / MCExOR the forwarder that takes ownership of a packet hands it
+back to the agent, which re-routes it from this node exactly as ExOR's
+per-hop operation does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.mac.base import MacLayer, RouteDecision
+from repro.packet import Packet
+from repro.routing.base import RouteNotFound, RoutingProtocol
+
+
+@dataclass
+class NetworkStats:
+    """Counters for one node's network layer."""
+
+    sent: int = 0
+    forwarded: int = 0
+    delivered: int = 0
+    no_route: int = 0
+
+
+class NetworkAgent:
+    """Network layer instance for one node."""
+
+    def __init__(
+        self,
+        node_id: int,
+        protocol: RoutingProtocol,
+        mac: MacLayer,
+        opportunistic: bool = False,
+    ) -> None:
+        self.node_id = node_id
+        self.protocol = protocol
+        self.mac = mac
+        self.opportunistic = opportunistic
+        self.stats = NetworkStats()
+        self._local_delivery: Optional[Callable[[Packet], None]] = None
+        mac.set_upper_layer(self.on_mac_receive)
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def set_local_delivery(self, callback: Callable[[Packet], None]) -> None:
+        """Register the transport-layer receive callback."""
+        self._local_delivery = callback
+
+    # ------------------------------------------------------------------
+    # Transmit path
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet) -> bool:
+        """Route and enqueue a packet originated (or forwarded) by this node."""
+        if packet.dst == self.node_id:
+            self._deliver_local(packet)
+            return True
+        try:
+            route = self.protocol.route_decision(self.node_id, packet.dst, self.opportunistic)
+        except RouteNotFound:
+            self.stats.no_route += 1
+            return False
+        self.stats.sent += 1
+        return self.mac.enqueue(packet, route)
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+    def on_mac_receive(self, packet: Packet) -> None:
+        """Callback from the MAC: a packet survived the channel and reached us."""
+        if packet.dst == self.node_id:
+            self._deliver_local(packet)
+            return
+        self.stats.forwarded += 1
+        self.send(packet)
+
+    def _deliver_local(self, packet: Packet) -> None:
+        self.stats.delivered += 1
+        if self._local_delivery is not None:
+            self._local_delivery(packet)

@@ -1,0 +1,71 @@
+"""Routing-protocol interfaces.
+
+A routing protocol answers two questions for a node holding a packet for
+destination ``dst`` (Section II of the paper splits a routing protocol
+into route discovery / packet forwarding / route maintenance; this
+interface is the *route discovery* output that the forwarding schemes
+consume):
+
+* ``next_hop(node, dst)`` — the single intended receiver used by
+  predetermined and shortest-path forwarding;
+* ``forwarder_list(node, dst)`` — the priority-ordered relay candidates
+  used by the opportunistic schemes (closest-to-destination first, the
+  destination itself excluded because it is implicitly the highest
+  priority).
+
+RIPPLE deliberately works with *any* forwarder selection (Section
+III-B1); the experiments exercise it both with the paper's predetermined
+ROUTE0/1/2 paths and with ETX-selected paths.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.mac.base import RouteDecision
+
+
+class RouteNotFound(RuntimeError):
+    """Raised when a protocol has no route from a node to a destination."""
+
+
+class RoutingProtocol(abc.ABC):
+    """Answers next-hop / forwarder-list queries for every node in a scenario."""
+
+    #: Paper default: at most 5 forwarders on a path (Section III-B4).
+    max_forwarders: int = 5
+
+    @abc.abstractmethod
+    def path(self, src: int, dst: int) -> List[int]:
+        """Full node sequence from ``src`` to ``dst`` inclusive."""
+
+    def next_hop(self, node: int, dst: int) -> int:
+        """The next node after ``node`` on the path towards ``dst``."""
+        route = self.path(node, dst)
+        if len(route) < 2:
+            raise RouteNotFound(f"no next hop from {node} towards {dst}")
+        return route[1]
+
+    def forwarder_list(self, node: int, dst: int) -> Tuple[int, ...]:
+        """Priority-ordered forwarders between ``node`` and ``dst``.
+
+        The returned tuple excludes both end points and is ordered with the
+        highest-priority forwarder (the one nearest the destination) first,
+        matching the implicit MAC-header ordering of Section III-B2.  The
+        list is truncated to :attr:`max_forwarders`.
+        """
+        route = self.path(node, dst)
+        intermediate = route[1:-1]
+        prioritised = list(reversed(intermediate))
+        return tuple(prioritised[: self.max_forwarders])
+
+    def route_decision(self, node: int, dst: int, opportunistic: bool) -> RouteDecision:
+        """Package the routing answer for the MAC."""
+        if opportunistic:
+            return RouteDecision(
+                final_dst=dst,
+                next_hop=None,
+                forwarder_list=self.forwarder_list(node, dst),
+            )
+        return RouteDecision(final_dst=dst, next_hop=self.next_hop(node, dst))

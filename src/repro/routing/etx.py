@@ -1,0 +1,76 @@
+"""ETX — expected transmission count link metric (De Couto et al. [14]).
+
+ExOR and MORE select and prioritise forwarders by ETX towards the
+destination; the paper keeps forwarder selection orthogonal to RIPPLE but
+uses ETX-style selection when no predetermined route is given.  Here ETX
+for a link is ``1 / (p_f * p_r)`` where ``p_f`` and ``p_r`` are the
+forward and reverse delivery probabilities; with our symmetric shadowing
+channel ``p_f == p_r``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import networkx as nx
+
+from repro.phy.channel import WirelessChannel
+
+
+@dataclass(frozen=True)
+class EtxParams:
+    """Knobs for graph construction from the physical layer."""
+
+    #: Links with delivery probability below this are not usable at all.
+    min_delivery_probability: float = 0.05
+    #: Frame size (bits) at which delivery probability is evaluated.
+    probe_bits: int = 8000
+
+
+def link_etx(delivery_probability: float) -> float:
+    """ETX of a link with symmetric delivery probability ``p``."""
+    if delivery_probability <= 0.0:
+        return float("inf")
+    return 1.0 / (delivery_probability * delivery_probability)
+
+
+def build_connectivity_graph(
+    channel: WirelessChannel, params: EtxParams | None = None
+) -> nx.Graph:
+    """Build a graph whose edges carry delivery probability, ETX and hop weights.
+
+    The closed-form per-link delivery probability (shadowing outage times
+    BER frame success) comes from the channel; the per-frame simulation
+    never consults this graph — it is only route discovery, mirroring how
+    ETX probes would be used in a deployment.
+    """
+    params = params or EtxParams()
+    graph = nx.Graph()
+    radios = channel.radios
+    for radio in radios:
+        graph.add_node(radio.node_id, position=radio.position)
+    for i, a in enumerate(radios):
+        for b in radios[i + 1 :]:
+            probability = channel.link_delivery_probability(a, b, params.probe_bits)
+            if probability < params.min_delivery_probability:
+                continue
+            graph.add_edge(
+                a.node_id,
+                b.node_id,
+                delivery_probability=probability,
+                etx=link_etx(probability),
+                hops=1.0,
+                distance=channel.distance(a, b),
+            )
+    return graph
+
+
+def path_etx(graph: nx.Graph, path: list[int]) -> float:
+    """Total ETX of a node sequence in ``graph`` (inf if an edge is missing)."""
+    total = 0.0
+    for a, b in zip(path, path[1:]):
+        if not graph.has_edge(a, b):
+            return float("inf")
+        total += graph.edges[a, b]["etx"]
+    return total

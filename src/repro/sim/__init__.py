@@ -1,0 +1,25 @@
+"""Discrete-event simulation substrate.
+
+The paper evaluates RIPPLE inside NS-2.  This package provides the
+equivalent substrate built from scratch: a deterministic event-heap
+simulator (:class:`~repro.sim.engine.Simulator`), cancellable events
+(:class:`~repro.sim.engine.Event`), integer-nanosecond time units
+(:mod:`repro.sim.units`) and named, seeded random-number streams
+(:class:`~repro.sim.rng.RandomStreams`).
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.rng import RandomStreams
+from repro.sim.units import MICROSECOND, MILLISECOND, SECOND, ns_to_seconds, seconds, us
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "RandomStreams",
+    "MICROSECOND",
+    "MILLISECOND",
+    "SECOND",
+    "ns_to_seconds",
+    "seconds",
+    "us",
+]

@@ -1,0 +1,164 @@
+"""Event-heap discrete-event simulator.
+
+This is the from-scratch replacement for the NS-2 scheduler the paper's
+implementation runs on.  The design is deliberately small:
+
+* :class:`Event` — a cancellable callback scheduled at an absolute
+  integer-nanosecond timestamp.
+* :class:`Simulator` — a binary-heap event queue with a monotonically
+  increasing sequence number used as a tie-breaker so that events
+  scheduled at the same timestamp fire in scheduling order
+  (deterministic FIFO among ties).
+
+Protocol code schedules relative timers with :meth:`Simulator.schedule`
+and cancels them with :meth:`Event.cancel` (cancellation is lazy: the
+heap entry stays in place and is skipped when popped, which is O(1) and
+avoids heap surgery).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Events are ordered by ``(time, seq)``: ``time`` is absolute simulation
+    time in nanoseconds and ``seq`` is the scheduling sequence number used
+    to break ties deterministically.
+    """
+
+    time: int
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple = field(default=(), compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so that it is skipped when its time arrives."""
+        self.cancelled = True
+
+    @property
+    def active(self) -> bool:
+        """Whether the event is still pending (not cancelled, not fired)."""
+        return not self.cancelled
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulator is used incorrectly (e.g. scheduling in the past)."""
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    start_time:
+        Initial simulation clock value in nanoseconds (defaults to 0).
+
+    Notes
+    -----
+    The simulator only advances time when :meth:`run` (or :meth:`step`)
+    is called; callbacks scheduled by other callbacks at the current time
+    are executed in FIFO order before the clock moves on.
+    """
+
+    def __init__(self, start_time: int = 0) -> None:
+        self._now: int = int(start_time)
+        self._heap: list[Event] = []
+        self._seq: int = 0
+        self._running: bool = False
+        self._processed: int = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of callbacks executed so far (cancelled events excluded)."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still on the heap (including cancelled ones)."""
+        return len(self._heap)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: int, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` nanoseconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + int(delay), callback, *args)
+
+    def schedule_at(self, when: int, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run at absolute time ``when``."""
+        when = int(when)
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at {when} ns, current time is {self._now} ns"
+            )
+        event = Event(time=when, seq=self._seq, callback=callback, args=args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns False if none remain."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if event.time < self._now:
+                raise SimulationError("event heap corrupted: time went backwards")
+            self._now = event.time
+            event.cancelled = True  # guards against double-execution via stale handles
+            event.callback(*event.args)
+            self._processed += 1
+            return True
+        return False
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> None:
+        """Run until the event queue empties, ``until`` is reached, or ``max_events`` fire.
+
+        ``until`` is an absolute time in nanoseconds; events scheduled exactly
+        at ``until`` are executed, later ones are left pending and the clock
+        is advanced to ``until``.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run call)")
+        self._running = True
+        executed = 0
+        try:
+            while self._heap:
+                if max_events is not None and executed >= max_events:
+                    return
+                head = self._heap[0]
+                if head.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and head.time > until:
+                    break
+                if self.step():
+                    executed += 1
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+
+    def run_for(self, duration: int) -> None:
+        """Run for ``duration`` nanoseconds of simulated time from now."""
+        self.run(until=self._now + int(duration))

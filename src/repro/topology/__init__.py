@@ -1,0 +1,24 @@
+"""Scenario containers and the paper's topologies."""
+
+from repro.topology.network import SCHEMES, SchemeInfo, WirelessNetwork
+from repro.topology.node import Node
+from repro.topology.roofnet import roofnet_scenario, roofnet_topology
+from repro.topology.spec import FlowSpec, TopologySpec
+from repro.topology.standard import fig1_topology, fig5a_topology, fig5b_topology, line_topology
+from repro.topology.wigle import wigle_topology
+
+__all__ = [
+    "SCHEMES",
+    "SchemeInfo",
+    "WirelessNetwork",
+    "Node",
+    "FlowSpec",
+    "TopologySpec",
+    "fig1_topology",
+    "fig5a_topology",
+    "fig5b_topology",
+    "line_topology",
+    "wigle_topology",
+    "roofnet_topology",
+    "roofnet_scenario",
+]

@@ -1,0 +1,226 @@
+"""Scenario assembly: nodes, channel and protocol stacks.
+
+:class:`WirelessNetwork` is the top-level object an experiment (or a user
+of the library) builds a scenario with:
+
+.. code-block:: python
+
+    net = WirelessNetwork(phy=HIGH_RATE_PHY, error_model=BitErrorModel(1e-6), seed=7)
+    for node_id, position in enumerate(positions):
+        net.add_node(node_id, position)
+    routing = StaticRouting({(0, 3): [0, 1, 2, 3]})
+    net.install_stack("ripple", routing)          # or "dcf", "afr", "preexor", ...
+    net.install_transport()
+    # ... attach traffic sources, then:
+    net.run(seconds(10))
+
+The scheme registry below maps the labels the paper uses to MAC factories:
+``"dcf"`` (the D bars), ``"afr"`` (A), ``"ripple1"`` (R1, mTXOP without
+aggregation), ``"ripple"`` (R16), plus ``"preexor"`` and ``"mcexor"`` for
+the Section II comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.mac.timing import DEFAULT_TIMING, MacTiming
+from repro.phy.channel import WirelessChannel
+from repro.phy.error_models import BitErrorModel
+from repro.phy.params import PhyParams
+from repro.phy.propagation import ShadowingPropagation
+from repro.phy.radio import Radio
+from repro.routing.agent import NetworkAgent
+from repro.routing.base import RoutingProtocol
+from repro.routing.etx import EtxParams, build_connectivity_graph
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.sim.units import seconds
+from repro.topology.node import Node
+
+
+def _make_dcf(network: "WirelessNetwork", node: Node, **kwargs):
+    from repro.mac.dcf import DcfMac
+
+    return DcfMac(
+        network.sim,
+        node.node_id,
+        node.radio,
+        network.phy,
+        network.timing,
+        network.rng.stream(f"mac-{node.node_id}"),
+        max_aggregation=kwargs.get("max_aggregation", 1),
+    )
+
+
+def _make_afr(network: "WirelessNetwork", node: Node, **kwargs):
+    from repro.mac.afr import AfrMac
+
+    return AfrMac(
+        network.sim,
+        node.node_id,
+        node.radio,
+        network.phy,
+        network.timing,
+        network.rng.stream(f"mac-{node.node_id}"),
+        max_aggregation=kwargs.get("max_aggregation", 16),
+    )
+
+
+def _make_ripple(network: "WirelessNetwork", node: Node, **kwargs):
+    from repro.core.ripple import RippleMac
+
+    return RippleMac(
+        network.sim,
+        node.node_id,
+        node.radio,
+        network.phy,
+        network.timing,
+        network.rng.stream(f"mac-{node.node_id}"),
+        max_aggregation=kwargs.get("max_aggregation", 16),
+        aggregate_local_traffic=kwargs.get("aggregate_local_traffic", True),
+    )
+
+
+def _make_ripple1(network: "WirelessNetwork", node: Node, **kwargs):
+    kwargs = dict(kwargs)
+    kwargs["max_aggregation"] = 1
+    return _make_ripple(network, node, **kwargs)
+
+
+def _make_preexor(network: "WirelessNetwork", node: Node, **kwargs):
+    from repro.routing.preexor import PreExorMac
+
+    return PreExorMac(
+        network.sim,
+        node.node_id,
+        node.radio,
+        network.phy,
+        network.timing,
+        network.rng.stream(f"mac-{node.node_id}"),
+    )
+
+
+def _make_mcexor(network: "WirelessNetwork", node: Node, **kwargs):
+    from repro.routing.mcexor import McExorMac
+
+    return McExorMac(
+        network.sim,
+        node.node_id,
+        node.radio,
+        network.phy,
+        network.timing,
+        network.rng.stream(f"mac-{node.node_id}"),
+    )
+
+
+@dataclass(frozen=True)
+class SchemeInfo:
+    """Registry entry describing one forwarding scheme."""
+
+    name: str
+    label: str
+    factory: Callable
+    opportunistic: bool
+
+
+SCHEMES: Dict[str, SchemeInfo] = {
+    "dcf": SchemeInfo("dcf", "D (802.11 DCF)", _make_dcf, opportunistic=False),
+    "afr": SchemeInfo("afr", "A (AFR aggregation)", _make_afr, opportunistic=False),
+    "ripple": SchemeInfo("ripple", "R16 (RIPPLE)", _make_ripple, opportunistic=True),
+    "ripple1": SchemeInfo("ripple1", "R1 (RIPPLE, no aggregation)", _make_ripple1, opportunistic=True),
+    "preexor": SchemeInfo("preexor", "preExOR", _make_preexor, opportunistic=True),
+    "mcexor": SchemeInfo("mcexor", "MCExOR", _make_mcexor, opportunistic=True),
+}
+
+
+class WirelessNetwork:
+    """A complete simulated wireless network (stations, channel, stacks)."""
+
+    def __init__(
+        self,
+        phy: Optional[PhyParams] = None,
+        propagation: Optional[ShadowingPropagation] = None,
+        error_model: Optional[BitErrorModel] = None,
+        timing: Optional[MacTiming] = None,
+        seed: int = 1,
+    ) -> None:
+        self.sim = Simulator()
+        self.rng = RandomStreams(seed=seed)
+        self.phy = phy or PhyParams()
+        self.timing = timing or DEFAULT_TIMING
+        self.propagation = propagation or ShadowingPropagation()
+        self.error_model = error_model or BitErrorModel()
+        self.channel = WirelessChannel(
+            self.sim,
+            self.phy,
+            propagation=self.propagation,
+            error_model=self.error_model,
+            rng=self.rng,
+        )
+        self.nodes: Dict[int, Node] = {}
+        self.scheme: Optional[SchemeInfo] = None
+        self.routing: Optional[RoutingProtocol] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, node_id: int, position: Tuple[float, float]) -> Node:
+        """Create a station with a radio at ``position`` (metres)."""
+        if node_id in self.nodes:
+            raise ValueError(f"node {node_id} already exists")
+        node = Node(node_id=node_id, position=position)
+        node.radio = Radio(node_id, node.position, self.channel)
+        self.nodes[node_id] = node
+        return node
+
+    def add_nodes(self, positions: Dict[int, Tuple[float, float]]) -> None:
+        """Create several stations at once from a {node_id: position} mapping."""
+        for node_id, position in positions.items():
+            self.add_node(node_id, position)
+
+    def install_stack(self, scheme: str, routing: RoutingProtocol, **mac_kwargs) -> None:
+        """Create the MAC + network agent of ``scheme`` on every node."""
+        info = SCHEMES.get(scheme)
+        if info is None:
+            raise ValueError(f"unknown scheme {scheme!r}; known: {sorted(SCHEMES)}")
+        self.scheme = info
+        self.routing = routing
+        for node in self.nodes.values():
+            node.mac = info.factory(self, node, **mac_kwargs)
+            node.network = NetworkAgent(
+                node.node_id, routing, node.mac, opportunistic=info.opportunistic
+            )
+
+    def install_transport(self) -> None:
+        """Create a transport host (TCP/UDP dispatch) on every node."""
+        from repro.transport.host import TransportHost
+
+        for node in self.nodes.values():
+            if node.network is None:
+                raise RuntimeError("install_stack must be called before install_transport")
+            node.transport = TransportHost(self.sim, node.node_id, node.network)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def node(self, node_id: int) -> Node:
+        return self.nodes[node_id]
+
+    def connectivity_graph(self, params: Optional[EtxParams] = None) -> nx.Graph:
+        """Connectivity/ETX graph used by SPR and forwarder selection."""
+        return build_connectivity_graph(self.channel, params)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, duration_ns: int) -> None:
+        """Advance the simulation by ``duration_ns`` nanoseconds."""
+        self.sim.run(until=self.sim.now + int(duration_ns))
+
+    def run_seconds(self, duration_s: float) -> None:
+        """Advance the simulation by ``duration_s`` seconds."""
+        self.run(seconds(duration_s))

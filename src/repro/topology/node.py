@@ -1,0 +1,37 @@
+"""A wireless station: radio + MAC + network agent + transport + applications."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+
+@dataclass
+class Node:
+    """Container wiring together one station's protocol stack.
+
+    The concrete layer objects are created by
+    :class:`~repro.topology.network.WirelessNetwork`; this class only holds
+    them together so applications and experiments have one handle per
+    station.
+    """
+
+    node_id: int
+    position: Tuple[float, float]
+    radio: Any = None
+    mac: Any = None
+    network: Any = None
+    transport: Any = None
+    applications: List[Any] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.position = (float(self.position[0]), float(self.position[1]))
+
+    def distance_to(self, other: "Node") -> float:
+        """Euclidean distance to another node in metres."""
+        dx = self.position[0] - other.position[0]
+        dy = self.position[1] - other.position[1]
+        return (dx * dx + dy * dy) ** 0.5
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Node({self.node_id} @ {self.position})"

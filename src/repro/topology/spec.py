@@ -1,0 +1,51 @@
+"""Topology specifications: node placements plus the flows/routes defined on them.
+
+The paper does not publish coordinates for its figures, only the structural
+properties that matter (which links are good, which end points can barely
+hear each other, who is hidden from whom).  Each topology module in this
+package therefore *constructs* a placement that satisfies those properties
+under the shadowing model of Section IV, and records the paper's flow and
+route definitions on top of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One application flow in a scenario."""
+
+    flow_id: int
+    src: int
+    dst: int
+    kind: str = "tcp"  # "tcp" | "udp-saturating" | "voip" | "web"
+    label: str = ""
+
+
+@dataclass
+class TopologySpec:
+    """A named node placement with flows and (optionally) predetermined routes."""
+
+    name: str
+    positions: Dict[int, Tuple[float, float]]
+    flows: List[FlowSpec] = field(default_factory=list)
+    #: Named route tables: route_sets["ROUTE0"][(src, dst)] = [src, ..., dst]
+    route_sets: Dict[str, Dict[Tuple[int, int], List[int]]] = field(default_factory=dict)
+    description: str = ""
+
+    @property
+    def node_ids(self) -> List[int]:
+        return sorted(self.positions)
+
+    def routes(self, route_set: str) -> Dict[Tuple[int, int], List[int]]:
+        """Look up one of the named route tables (raises KeyError if absent)."""
+        return self.route_sets[route_set]
+
+    def flow(self, flow_id: int) -> FlowSpec:
+        for flow in self.flows:
+            if flow.flow_id == flow_id:
+                return flow
+        raise KeyError(f"no flow {flow_id} in topology {self.name}")

@@ -1,0 +1,190 @@
+"""The paper's hand-built topologies: Fig. 1, Fig. 5(a), Fig. 5(b) and the line.
+
+Coordinates are chosen so that, under the shadowing model with the paper's
+parameters (path-loss exponent 5, deviation 8 dB, 281 mW), the qualitative
+link structure the paper describes holds:
+
+* consecutive relay hops (~115 m) deliver frames with >95 % probability;
+* "shortcut" links that skip one relay (~190-220 m) work only about half
+  of the time;
+* the direct source-destination links the S bars use (~300 m) succeed for
+  roughly a quarter of frames, which is why one-hop routing is inefficient
+  (Section IV-A);
+* stations more than ~650 m apart cannot even carrier-sense each other,
+  which is how the hidden-terminal scenarios of Fig. 5(b) are built.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from repro.topology.spec import FlowSpec, TopologySpec
+
+#: Inter-relay spacing giving a high-quality link under the default PHY.
+GOOD_HOP_M = 115.0
+
+
+def fig1_topology() -> TopologySpec:
+    """The 8-station multi-flow topology of Fig. 1 with ROUTE0/1/2 from Table II.
+
+    Flows (as in Section IV): flow 1 from station 0 to 3, flow 2 from 0 to
+    4, flow 3 from 5 to 7.
+    """
+    positions: Dict[int, Tuple[float, float]] = {
+        0: (0.0, 0.0),
+        1: (115.0, 0.0),
+        2: (230.0, 0.0),
+        3: (281.6, 91.4),
+        4: (281.6, -91.4),
+        5: (20.0, 230.0),
+        6: (115.0, 115.0),
+        7: (230.0, 115.0),
+    }
+    flows = [
+        FlowSpec(flow_id=1, src=0, dst=3, kind="tcp", label="flow1 0->3"),
+        FlowSpec(flow_id=2, src=0, dst=4, kind="tcp", label="flow2 0->4"),
+        FlowSpec(flow_id=3, src=5, dst=7, kind="tcp", label="flow3 5->7"),
+    ]
+    route_sets = {
+        # Table II of the paper.
+        "ROUTE0": {
+            (0, 3): [0, 1, 2, 3],
+            (0, 4): [0, 1, 2, 4],
+            (5, 7): [5, 6, 1, 7],
+        },
+        "ROUTE1": {
+            (0, 3): [0, 1, 3],
+            (0, 4): [0, 1, 4],
+            (5, 7): [5, 6, 7],
+        },
+        "ROUTE2": {
+            (0, 3): [0, 2, 3],
+            (0, 4): [0, 2, 4],
+            (5, 7): [5, 1, 7],
+        },
+        # The "S" bars: shortest-path (direct) routes between the end points.
+        "DIRECT": {
+            (0, 3): [0, 3],
+            (0, 4): [0, 4],
+            (5, 7): [5, 7],
+        },
+    }
+    return TopologySpec(
+        name="fig1",
+        positions=positions,
+        flows=flows,
+        route_sets=route_sets,
+        description="Multi-flow topology of Fig. 1 (three flows, shared relays).",
+    )
+
+
+def fig5a_topology(n_flows: int = 9, hop_m: float = GOOD_HOP_M) -> TopologySpec:
+    """Fig. 5(a): everything within carrier-sense range, so collisions are 'regular'.
+
+    Each flow is a two-hop source → relay → destination chain; the chains are
+    packed side by side with small vertical spacing so every station senses
+    every other station (no hidden terminals).
+    """
+    if not 1 <= n_flows <= 9:
+        raise ValueError("the paper evaluates 1..9 regular-collision flows")
+    positions: Dict[int, Tuple[float, float]] = {}
+    flows: List[FlowSpec] = []
+    routes: Dict[Tuple[int, int], List[int]] = {}
+    spacing_y = 30.0
+    for index in range(n_flows):
+        base = index * 3
+        y = index * spacing_y
+        src, relay, dst = base, base + 1, base + 2
+        positions[src] = (0.0, y)
+        positions[relay] = (hop_m, y)
+        positions[dst] = (2 * hop_m, y)
+        flows.append(FlowSpec(flow_id=index + 1, src=src, dst=dst, kind="tcp", label=f"flow{index + 1}"))
+        routes[(src, dst)] = [src, relay, dst]
+    return TopologySpec(
+        name="fig5a",
+        positions=positions,
+        flows=flows,
+        route_sets={"ROUTE0": routes},
+        description="Regular-collision topology of Fig. 5(a): parallel 2-hop flows in range.",
+    )
+
+
+def fig5b_topology(n_hidden: int = 9, hop_m: float = GOOD_HOP_M) -> TopologySpec:
+    """Fig. 5(b): sources of flows 2..10 are hidden from the source of flow 1.
+
+    Flow 1 is a three-hop chain 0 → 1 → 2 → 3.  The hidden sources sit far
+    enough from station 0 that they cannot carrier-sense it (>650 m), but
+    close enough to flow 1's later relays and destination that their
+    transmissions interfere there.  Each hidden source saturates a one-hop
+    UDP flow to its own destination.
+    """
+    if not 0 <= n_hidden <= 9:
+        raise ValueError("the paper evaluates 0..9 hidden flows")
+    positions: Dict[int, Tuple[float, float]] = {
+        0: (0.0, 0.0),
+        1: (hop_m, 0.0),
+        2: (2 * hop_m, 0.0),
+        3: (3 * hop_m, 0.0),
+    }
+    flows: List[FlowSpec] = [FlowSpec(flow_id=1, src=0, dst=3, kind="tcp", label="flow1 0->3")]
+    routes: Dict[Tuple[int, int], List[int]] = {(0, 3): [0, 1, 2, 3]}
+    hidden_x = 700.0  # > carrier-sense range from station 0, < from stations 2 and 3
+    for index in range(n_hidden):
+        src = 10 + 2 * index
+        dst = 11 + 2 * index
+        y = (index - (n_hidden - 1) / 2.0) * 40.0
+        positions[src] = (hidden_x, y)
+        positions[dst] = (hidden_x + hop_m, y)
+        flows.append(
+            FlowSpec(
+                flow_id=2 + index,
+                src=src,
+                dst=dst,
+                kind="udp-saturating",
+                label=f"hidden{index + 1}",
+            )
+        )
+        routes[(src, dst)] = [src, dst]
+    return TopologySpec(
+        name="fig5b",
+        positions=positions,
+        flows=flows,
+        route_sets={"ROUTE0": routes},
+        description="Hidden-collision topology of Fig. 5(b): flow 1 throttled by hidden sources.",
+    )
+
+
+def line_topology(n_hops: int, cross_traffic: bool = False, hop_m: float = GOOD_HOP_M) -> TopologySpec:
+    """The line topology of Fig. 7 with 2..7 hops and optional crossing 3-hop flow.
+
+    The main flow runs from node 0 to node ``n_hops`` along the line; the
+    optional cross flow is a 3-hop chain that intersects the line at its
+    middle node (sharing that relay), as in Fig. 7(b).
+    """
+    if not 2 <= n_hops <= 7:
+        raise ValueError("the paper evaluates lines of 2..7 hops")
+    positions: Dict[int, Tuple[float, float]] = {
+        i: (i * hop_m, 0.0) for i in range(n_hops + 1)
+    }
+    flows = [FlowSpec(flow_id=1, src=0, dst=n_hops, kind="tcp", label=f"line {n_hops} hops")]
+    routes: Dict[Tuple[int, int], List[int]] = {(0, n_hops): list(range(n_hops + 1))}
+    if cross_traffic:
+        middle = n_hops // 2
+        mx = middle * hop_m
+        top, above = 100, 101
+        below = 102
+        positions[top] = (mx, 2 * hop_m)
+        positions[above] = (mx, hop_m)
+        positions[below] = (mx, -hop_m)
+        flows.append(
+            FlowSpec(flow_id=2, src=top, dst=below, kind="udp-saturating", label="cross 3-hop")
+        )
+        routes[(top, below)] = [top, above, middle, below]
+    return TopologySpec(
+        name=f"line{n_hops}" + ("_cross" if cross_traffic else ""),
+        positions=positions,
+        flows=flows,
+        route_sets={"ROUTE0": routes},
+        description="Line topology of Fig. 7.",
+    )

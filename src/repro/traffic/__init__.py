@@ -1,0 +1,15 @@
+"""Traffic generators: long-lived TCP, web ON/OFF, VoIP on-off, CBR/saturating UDP."""
+
+from repro.traffic.cbr import CbrSource, SaturatingSource
+from repro.traffic.ftp import FtpApplication
+from repro.traffic.voip import VoipFlow
+from repro.traffic.web import WebFlow, pareto_transfer_bytes
+
+__all__ = [
+    "CbrSource",
+    "SaturatingSource",
+    "FtpApplication",
+    "VoipFlow",
+    "WebFlow",
+    "pareto_transfer_bytes",
+]

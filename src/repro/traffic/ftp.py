@@ -1,0 +1,28 @@
+"""Long-lived (FTP-like) TCP transfers.
+
+Section IV-A: "long-lived TCP transfers, which persistently send traffic
+throughout the simulation" — i.e. the sender always has data available
+and the throughput is limited only by congestion control and the MAC
+underneath it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.transport.tcp import TcpSender
+
+
+@dataclass
+class FtpApplication:
+    """Keeps a TCP sender permanently backlogged."""
+
+    sender: TcpSender
+    started: bool = False
+
+    def start(self) -> None:
+        """Begin the transfer (idempotent)."""
+        if self.started:
+            return
+        self.started = True
+        self.sender.send_forever()

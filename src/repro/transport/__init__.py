@@ -1,0 +1,16 @@
+"""Transport layer: TCP Reno, UDP and the per-node flow dispatcher."""
+
+from repro.transport.host import TransportHost
+from repro.transport.tcp import TcpAck, TcpSegment, TcpSender, TcpSink
+from repro.transport.udp import UdpDatagram, UdpReceiver, UdpSender
+
+__all__ = [
+    "TransportHost",
+    "TcpAck",
+    "TcpSegment",
+    "TcpSender",
+    "TcpSink",
+    "UdpDatagram",
+    "UdpReceiver",
+    "UdpSender",
+]

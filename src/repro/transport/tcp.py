@@ -1,0 +1,411 @@
+"""TCP Reno at packet granularity (the NS-2 ``Agent/TCP`` + ``Agent/TCPSink`` model).
+
+The paper's motivation hinges on how TCP's congestion control reacts to
+the MAC layer underneath it:
+
+* packet **re-ordering** (preExOR / MCExOR) produces duplicate ACKs, which
+  trigger fast retransmit and halve the congestion window even though
+  nothing was lost;
+* packet **loss** (queue overflow at the 50-packet interface queue, or MAC
+  retry exhaustion on bad links) triggers fast retransmit or — when the
+  whole window is lost — a retransmission timeout and slow start;
+* MAC-level **delay** inflates the RTT and therefore the pipe the window
+  has to fill.
+
+This module models exactly those mechanisms: slow start, congestion
+avoidance, duplicate ACK counting, Reno fast retransmit / fast recovery,
+Jacobson/Karn RTO estimation with exponential backoff, and a cumulative-
+ACK sink that acknowledges every arriving segment (so out-of-order
+arrivals immediately generate duplicate ACKs) and tracks re-ordering and
+goodput statistics.  Segments are counted in MSS-sized packets, like NS-2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.packet import Packet
+from repro.sim.engine import Event, Simulator
+from repro.sim.units import ms, ns_to_seconds, seconds
+
+#: TCP acknowledgement packet size on the wire (bytes), as used in the paper's NS-2 setup.
+TCP_ACK_BYTES = 40
+
+
+@dataclass
+class TcpSegment:
+    """Transport payload attached to a data packet."""
+
+    flow_id: int
+    seq: int
+    is_retransmission: bool = False
+
+
+@dataclass
+class TcpAck:
+    """Transport payload attached to an ACK packet (cumulative acknowledgement)."""
+
+    flow_id: int
+    ack: int  # next expected segment sequence number
+
+
+@dataclass
+class TcpSenderStats:
+    """Counters exposed by a TCP sender."""
+
+    segments_sent: int = 0
+    retransmissions: int = 0
+    fast_retransmits: int = 0
+    timeouts: int = 0
+    acks_received: int = 0
+    duplicate_acks: int = 0
+
+
+@dataclass
+class TcpSinkStats:
+    """Counters exposed by a TCP sink."""
+
+    segments_received: int = 0
+    duplicate_segments: int = 0
+    reordered_segments: int = 0
+    unique_bytes: int = 0
+    in_order_bytes: int = 0
+    acks_sent: int = 0
+    first_arrival_ns: Optional[int] = None
+    last_arrival_ns: Optional[int] = None
+
+
+class TcpSender:
+    """Reno congestion control driving MSS-sized segments into the network."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: "TransportHost",
+        flow_id: int,
+        dst: int,
+        mss_bytes: int = 1000,
+        awnd_segments: int = 64,
+        initial_cwnd: float = 2.0,
+        min_rto_ns: int = ms(200),
+        initial_rto_ns: int = seconds(1),
+        max_rto_ns: int = seconds(10),
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self.flow_id = flow_id
+        self.src = host.node_id
+        self.dst = dst
+        self.mss_bytes = mss_bytes
+        self.awnd = awnd_segments
+        self.stats = TcpSenderStats()
+        # Congestion state
+        self.cwnd = float(initial_cwnd)
+        self.ssthresh = float(awnd_segments)
+        self.dupacks = 0
+        self.in_fast_recovery = False
+        self.recover = 0
+        # Sequence state (in segments)
+        self.next_seq = 0
+        self.highest_acked = 0
+        self._app_bytes_available = 0
+        self._infinite_source = False
+        self._send_timestamps: Dict[int, int] = {}
+        # Go-back-N recovery after a timeout: everything below ``_recover_until``
+        # that is still unacknowledged is resent in order, starting at
+        # ``_resend_next``, before any new data goes out.
+        self._resend_next = 0
+        self._recover_until = 0
+        # RTO state
+        self.srtt_ns: Optional[int] = None
+        self.rttvar_ns: Optional[int] = None
+        self.rto_ns = initial_rto_ns
+        self.min_rto_ns = min_rto_ns
+        self.max_rto_ns = max_rto_ns
+        self._rto_event: Optional[Event] = None
+        self._backoff = 1
+        self._completion_callbacks: List[Callable[[], None]] = []
+        host.register_flow(flow_id, self._on_packet)
+
+    # ------------------------------------------------------------------
+    # Application interface
+    # ------------------------------------------------------------------
+    def send_forever(self) -> None:
+        """Model an infinite (FTP-like) backlog."""
+        self._infinite_source = True
+        self._try_send()
+
+    def send_bytes(self, nbytes: int) -> None:
+        """Add ``nbytes`` of application data to the send buffer."""
+        if nbytes <= 0:
+            return
+        self._app_bytes_available += int(nbytes)
+        self._try_send()
+
+    def on_transfer_complete(self, callback: Callable[[], None]) -> None:
+        """Register a callback fired when every queued byte has been acknowledged."""
+        self._completion_callbacks.append(callback)
+
+    @property
+    def transfer_complete(self) -> bool:
+        """True when a finite transfer has been fully acknowledged."""
+        if self._infinite_source:
+            return False
+        return self._app_bytes_available == 0 and self.highest_acked >= self.next_seq
+
+    @property
+    def flight_size(self) -> int:
+        """Segments in flight (sent but not cumulatively acknowledged)."""
+        return self.next_seq - self.highest_acked
+
+    @property
+    def window(self) -> int:
+        """Usable window in segments."""
+        return int(min(self.cwnd, float(self.awnd)))
+
+    # ------------------------------------------------------------------
+    # Sending machinery
+    # ------------------------------------------------------------------
+    def _segments_available(self) -> int:
+        if self._infinite_source:
+            return 1 << 30
+        return -(-self._app_bytes_available // self.mss_bytes) if self._app_bytes_available else 0
+
+    def _try_send(self) -> None:
+        limit = self.highest_acked + max(self.window, 1)
+        # Post-timeout go-back-N: re-send the outstanding window in order
+        # before transmitting anything new (mirrors slow-start retransmission
+        # after an RTO in real stacks; without it a second hole would stall
+        # the connection until another timeout).
+        while self._resend_next < min(self._recover_until, limit):
+            if self._resend_next >= self.highest_acked:
+                self._transmit_segment(self._resend_next, is_retransmission=True)
+            self._resend_next += 1
+        while self.next_seq < limit:
+            if not self._infinite_source:
+                if self._app_bytes_available <= 0:
+                    break
+                self._app_bytes_available = max(0, self._app_bytes_available - self.mss_bytes)
+            self._transmit_segment(self.next_seq, is_retransmission=False)
+            self.next_seq += 1
+
+    def _transmit_segment(self, seq: int, is_retransmission: bool) -> None:
+        segment = TcpSegment(flow_id=self.flow_id, seq=seq, is_retransmission=is_retransmission)
+        packet = Packet(
+            src=self.src,
+            dst=self.dst,
+            size_bytes=self.mss_bytes,
+            flow_id=self.flow_id,
+            seq=seq,
+            kind="tcp-data",
+            created_ns=self.sim.now,
+            payload=segment,
+        )
+        self.stats.segments_sent += 1
+        if is_retransmission:
+            self.stats.retransmissions += 1
+            self._send_timestamps.pop(seq, None)  # Karn: never time retransmitted segments
+        else:
+            self._send_timestamps[seq] = self.sim.now
+        self.host.send(packet)
+        if self._rto_event is None:
+            self._arm_rto()
+
+    # ------------------------------------------------------------------
+    # ACK processing
+    # ------------------------------------------------------------------
+    def _on_packet(self, packet: Packet) -> None:
+        payload = packet.payload
+        if not isinstance(payload, TcpAck):
+            return
+        self.stats.acks_received += 1
+        ack = payload.ack
+        if ack > self.highest_acked:
+            self._on_new_ack(ack)
+        elif ack == self.highest_acked:
+            self._on_duplicate_ack(ack)
+        self._try_send()
+        self._check_completion()
+
+    def _on_new_ack(self, ack: int) -> None:
+        newly_acked = ack - self.highest_acked
+        self._sample_rtt(ack)
+        self.highest_acked = ack
+        self.dupacks = 0
+        self._backoff = 1
+        if self._resend_next < ack:
+            self._resend_next = ack
+        if self.in_fast_recovery:
+            if ack > self.recover:
+                # Full recovery: deflate the window back to ssthresh.
+                self.in_fast_recovery = False
+                self.cwnd = self.ssthresh
+            else:
+                # Partial ACK (NewReno-style): retransmit the next hole and
+                # stay in recovery, deflating by the amount acknowledged.
+                self.cwnd = max(self.ssthresh, self.cwnd - newly_acked + 1)
+                self._transmit_segment(self.highest_acked, is_retransmission=True)
+        else:
+            if self.cwnd < self.ssthresh:
+                self.cwnd += newly_acked  # slow start
+            else:
+                self.cwnd += newly_acked / self.cwnd  # congestion avoidance
+        if self.flight_size > 0:
+            self._arm_rto(restart=True)
+        else:
+            self._cancel_rto()
+
+    def _on_duplicate_ack(self, ack: int) -> None:
+        self.stats.duplicate_acks += 1
+        if self.flight_size == 0:
+            return
+        self.dupacks += 1
+        if self.in_fast_recovery:
+            self.cwnd += 1.0  # window inflation while the hole persists
+            return
+        if self.dupacks == 3:
+            self.stats.fast_retransmits += 1
+            self.ssthresh = max(self.flight_size / 2.0, 2.0)
+            self.in_fast_recovery = True
+            self.recover = self.next_seq - 1
+            self.cwnd = self.ssthresh + 3.0
+            self._transmit_segment(self.highest_acked, is_retransmission=True)
+
+    def _sample_rtt(self, ack: int) -> None:
+        # Use the oldest newly-acknowledged segment that was never retransmitted.
+        sample: Optional[int] = None
+        for seq in range(self.highest_acked, ack):
+            sent_at = self._send_timestamps.pop(seq, None)
+            if sample is None and sent_at is not None:
+                sample = self.sim.now - sent_at
+        if sample is None:
+            return
+        if self.srtt_ns is None:
+            self.srtt_ns = sample
+            self.rttvar_ns = sample // 2
+        else:
+            delta = abs(sample - self.srtt_ns)
+            self.rttvar_ns = int(0.75 * self.rttvar_ns + 0.25 * delta)
+            self.srtt_ns = int(0.875 * self.srtt_ns + 0.125 * sample)
+        rto = self.srtt_ns + 4 * max(self.rttvar_ns, 1)
+        self.rto_ns = min(max(rto, self.min_rto_ns), self.max_rto_ns)
+
+    # ------------------------------------------------------------------
+    # Retransmission timeout
+    # ------------------------------------------------------------------
+    def _arm_rto(self, restart: bool = False) -> None:
+        if restart:
+            self._cancel_rto()
+        if self._rto_event is None:
+            self._rto_event = self.sim.schedule(self.rto_ns * self._backoff, self._on_rto)
+
+    def _cancel_rto(self) -> None:
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+            self._rto_event = None
+
+    def _on_rto(self) -> None:
+        self._rto_event = None
+        if self.flight_size == 0:
+            return
+        self.stats.timeouts += 1
+        self.ssthresh = max(self.flight_size / 2.0, 2.0)
+        self.cwnd = 1.0
+        self.dupacks = 0
+        self.in_fast_recovery = False
+        self._backoff = min(self._backoff * 2, 64)
+        self._recover_until = self.next_seq
+        self._resend_next = self.highest_acked + 1
+        self._transmit_segment(self.highest_acked, is_retransmission=True)
+        self._arm_rto(restart=True)
+
+    def _check_completion(self) -> None:
+        if not self._completion_callbacks or not self.transfer_complete:
+            return
+        callbacks, self._completion_callbacks = self._completion_callbacks, []
+        for callback in callbacks:
+            callback()
+
+
+class TcpSink:
+    """Cumulative-ACK receiver with re-ordering and goodput accounting."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: "TransportHost",
+        flow_id: int,
+        peer: int,
+        mss_bytes: int = 1000,
+        ack_bytes: int = TCP_ACK_BYTES,
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self.flow_id = flow_id
+        self.peer = peer
+        self.mss_bytes = mss_bytes
+        self.ack_bytes = ack_bytes
+        self.stats = TcpSinkStats()
+        self.next_expected = 0
+        self._out_of_order: set[int] = set()
+        self._highest_seen = -1
+        host.register_flow(flow_id, self._on_packet)
+
+    def _on_packet(self, packet: Packet) -> None:
+        payload = packet.payload
+        if not isinstance(payload, TcpSegment):
+            return
+        now = self.sim.now
+        if self.stats.first_arrival_ns is None:
+            self.stats.first_arrival_ns = now
+        self.stats.last_arrival_ns = now
+        seq = payload.seq
+        self.stats.segments_received += 1
+        if seq < self.next_expected or seq in self._out_of_order:
+            self.stats.duplicate_segments += 1
+        else:
+            self.stats.unique_bytes += packet.size_bytes
+            if seq < self._highest_seen:
+                self.stats.reordered_segments += 1
+            self._highest_seen = max(self._highest_seen, seq)
+            if seq == self.next_expected:
+                self.next_expected += 1
+                while self.next_expected in self._out_of_order:
+                    self._out_of_order.discard(self.next_expected)
+                    self.next_expected += 1
+            else:
+                self._out_of_order.add(seq)
+        self.stats.in_order_bytes = self.next_expected * self.mss_bytes
+        self._send_ack()
+
+    def _send_ack(self) -> None:
+        ack_payload = TcpAck(flow_id=self.flow_id, ack=self.next_expected)
+        packet = Packet(
+            src=self.host.node_id,
+            dst=self.peer,
+            size_bytes=self.ack_bytes,
+            flow_id=self.flow_id,
+            seq=self.next_expected,
+            kind="tcp-ack",
+            created_ns=self.sim.now,
+            payload=ack_payload,
+        )
+        self.stats.acks_sent += 1
+        self.host.send(packet)
+
+    # ------------------------------------------------------------------
+    # Metrics helpers
+    # ------------------------------------------------------------------
+    def goodput_bps(self, duration_ns: int) -> float:
+        """Unique received bytes per second of simulated time, in bits/s."""
+        if duration_ns <= 0:
+            return 0.0
+        return self.stats.unique_bytes * 8 / ns_to_seconds(duration_ns)
+
+    @property
+    def reordering_ratio(self) -> float:
+        """Fraction of received segments that arrived behind a later segment."""
+        if self.stats.segments_received == 0:
+            return 0.0
+        return self.stats.reordered_segments / self.stats.segments_received

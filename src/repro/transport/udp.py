@@ -1,0 +1,105 @@
+"""Minimal UDP endpoints.
+
+VoIP streams (Section IV-E) and the saturating "hidden" background flows
+(Figs. 5(b), 10 and 12) are carried over UDP: no retransmission, no
+congestion control, just datagrams whose delivery and delay statistics
+are recorded at the receiver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.packet import Packet
+from repro.sim.engine import Simulator
+from repro.sim.units import ns_to_seconds
+
+
+@dataclass
+class UdpDatagram:
+    """Transport payload attached to a UDP packet."""
+
+    flow_id: int
+    seq: int
+
+
+@dataclass
+class UdpStats:
+    """Sender/receiver counters for one UDP flow."""
+
+    sent: int = 0
+    sent_bytes: int = 0
+    received: int = 0
+    received_bytes: int = 0
+    duplicates: int = 0
+    delays_ns: List[int] = field(default_factory=list)
+
+
+class UdpSender:
+    """Datagram source for one flow."""
+
+    def __init__(self, sim: Simulator, host: "TransportHost", flow_id: int, dst: int) -> None:
+        self.sim = sim
+        self.host = host
+        self.flow_id = flow_id
+        self.dst = dst
+        self.stats = UdpStats()
+        self._next_seq = 0
+
+    def send(self, size_bytes: int) -> Packet:
+        """Emit one datagram of ``size_bytes`` towards the destination."""
+        packet = Packet(
+            src=self.host.node_id,
+            dst=self.dst,
+            size_bytes=size_bytes,
+            flow_id=self.flow_id,
+            seq=self._next_seq,
+            kind="udp",
+            created_ns=self.sim.now,
+            payload=UdpDatagram(flow_id=self.flow_id, seq=self._next_seq),
+        )
+        self._next_seq += 1
+        self.stats.sent += 1
+        self.stats.sent_bytes += size_bytes
+        self.host.send(packet)
+        return packet
+
+
+class UdpReceiver:
+    """Datagram sink recording delivery, duplicates and one-way delay."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: "TransportHost",
+        flow_id: int,
+        on_receive: Optional[Callable[[Packet], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self.flow_id = flow_id
+        self.stats = UdpStats()
+        self._seen: set[int] = set()
+        self._on_receive = on_receive
+        host.register_flow(flow_id, self._on_packet)
+
+    def _on_packet(self, packet: Packet) -> None:
+        payload = packet.payload
+        if not isinstance(payload, UdpDatagram):
+            return
+        if payload.seq in self._seen:
+            self.stats.duplicates += 1
+            return
+        self._seen.add(payload.seq)
+        self.stats.received += 1
+        self.stats.received_bytes += packet.size_bytes
+        self.stats.delays_ns.append(self.sim.now - packet.created_ns)
+        if self._on_receive is not None:
+            self._on_receive(packet)
+
+    def throughput_bps(self, duration_ns: int) -> float:
+        """Received bytes per second of simulated time, in bits/s."""
+        if duration_ns <= 0:
+            return 0.0
+        return self.stats.received_bytes * 8 / ns_to_seconds(duration_ns)

@@ -1,0 +1,126 @@
+"""Experiment harness: scheme mapping, scenario construction, result collection."""
+
+import pytest
+
+from repro.experiments.report import format_table, nested_to_rows, render_panel
+from repro.experiments.runner import (
+    DEFAULT_SCHEME_LABELS,
+    PAPER_SCHEMES,
+    ScenarioConfig,
+    build_network,
+    resolve_scheme,
+    run_scenario,
+)
+from repro.topology.standard import fig1_topology, line_topology
+
+
+class TestSchemeMapping:
+    def test_paper_labels_cover_the_figures(self):
+        assert set(DEFAULT_SCHEME_LABELS) == {"S", "D", "R1", "A", "R16"}
+
+    def test_s_uses_direct_route(self):
+        scheme, route_set = resolve_scheme("S", "ROUTE0")
+        assert scheme == "dcf" and route_set == "DIRECT"
+
+    def test_d_uses_requested_route(self):
+        scheme, route_set = resolve_scheme("D", "ROUTE2")
+        assert scheme == "dcf" and route_set == "ROUTE2"
+
+    def test_r16_is_ripple(self):
+        assert resolve_scheme("R16", "ROUTE0") == ("ripple", "ROUTE0")
+
+    def test_r1_is_ripple_without_aggregation(self):
+        assert resolve_scheme("R1", "ROUTE0") == ("ripple1", "ROUTE0")
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_scheme("XYZ", "ROUTE0")
+
+    def test_all_labels_resolve(self):
+        for label in PAPER_SCHEMES:
+            scheme, route_set = resolve_scheme(label, "ROUTE0")
+            assert isinstance(scheme, str) and isinstance(route_set, str)
+
+
+class TestBuildNetwork:
+    def test_nodes_and_stack_installed(self):
+        config = ScenarioConfig(topology=fig1_topology(), scheme_label="D")
+        network, routing = build_network(config)
+        assert len(network.nodes) == 8
+        assert all(node.mac is not None for node in network.nodes.values())
+        assert all(node.transport is not None for node in network.nodes.values())
+
+    def test_max_aggregation_override(self):
+        config = ScenarioConfig(topology=fig1_topology(), scheme_label="R16", max_aggregation=4)
+        network, _ = build_network(config)
+        assert network.node(0).mac.max_aggregation == 4
+
+    def test_missing_route_set_rejected(self):
+        config = ScenarioConfig(topology=line_topology(3), scheme_label="D", route_set="ROUTE9")
+        with pytest.raises(KeyError):
+            build_network(config)
+
+
+class TestRunScenario:
+    def test_tcp_flow_produces_throughput(self):
+        config = ScenarioConfig(
+            topology=fig1_topology(), scheme_label="D", active_flows=[1], duration_s=0.15, seed=2
+        )
+        result = run_scenario(config)
+        assert len(result.flows) == 1
+        assert result.total_throughput_mbps > 1.0
+        assert result.flow_throughput(1) == result.flows[0].throughput_mbps
+        assert result.events_processed > 1000
+
+    def test_udp_saturating_flow(self):
+        from repro.topology.standard import fig5b_topology
+
+        config = ScenarioConfig(
+            topology=fig5b_topology(n_hidden=1), scheme_label="D", duration_s=0.15, seed=2
+        )
+        result = run_scenario(config)
+        kinds = {flow.kind for flow in result.flows}
+        assert kinds == {"tcp", "udp"}
+        udp = [flow for flow in result.flows if flow.kind == "udp"][0]
+        assert udp.packets_received > 0
+
+    def test_unknown_flow_id_raises(self):
+        config = ScenarioConfig(
+            topology=fig1_topology(), scheme_label="D", active_flows=[1], duration_s=0.1
+        )
+        result = run_scenario(config)
+        with pytest.raises(KeyError):
+            result.flow_throughput(42)
+
+    def test_deterministic_for_fixed_seed(self):
+        config = ScenarioConfig(
+            topology=fig1_topology(), scheme_label="R16", active_flows=[1], duration_s=0.1, seed=4
+        )
+        first = run_scenario(config)
+        second = run_scenario(config)
+        assert first.total_throughput_mbps == second.total_throughput_mbps
+        assert first.events_processed == second.events_processed
+
+    def test_different_seeds_differ(self):
+        base = dict(topology=fig1_topology(), scheme_label="D", active_flows=[1], duration_s=0.1)
+        a = run_scenario(ScenarioConfig(**base, seed=1))
+        b = run_scenario(ScenarioConfig(**base, seed=2))
+        assert a.events_processed != b.events_processed
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table("title", ["1", "2"], {"D": [1.0, 2.0], "R16": [3.0, 4.5]})
+        lines = text.splitlines()
+        assert lines[0] == "title"
+        assert "scheme" in lines[1]
+        assert any("R16" in line for line in lines)
+
+    def test_nested_to_rows_handles_missing(self):
+        rows = nested_to_rows({"D": {1: 5.0}}, [1, 2])
+        assert rows["D"][0] == 5.0
+        assert rows["D"][1] != rows["D"][1]  # NaN for the missing column
+
+    def test_render_panel(self):
+        text = render_panel("Fig X", {"D": {1: 1.0, 2: 2.0}}, [1, 2])
+        assert "Fig X" in text and "D" in text

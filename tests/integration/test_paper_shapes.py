@@ -1,0 +1,138 @@
+"""End-to-end integration tests: the qualitative claims of the paper's evaluation.
+
+These runs use short simulated durations (0.2-0.5 s instead of the paper's
+10 s) so the suite stays fast; the asserted properties are the *orderings*
+the paper reports, which are stable well before 10 s.
+"""
+
+import pytest
+
+from repro.experiments.collisions import run_hidden_collisions, run_regular_collisions
+from repro.experiments.hops import run_hops
+from repro.experiments.longlived import run_longlived_panel
+from repro.experiments.motivation import run_motivation
+from repro.experiments.runner import ScenarioConfig, run_scenario
+from repro.experiments.voip import run_voip
+from repro.experiments.web import run_web_traffic
+from repro.topology.standard import fig1_topology
+
+
+class TestMotivationSectionII:
+    """Section II: opportunistic per-packet schemes hurt TCP."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_motivation(duration_s=0.4, seed=1)
+
+    def test_predetermined_beats_preexor_and_mcexor(self, results):
+        assert results["SPR"].throughput_mbps > results["preExOR"].throughput_mbps
+        assert results["SPR"].throughput_mbps > results["MCExOR"].throughput_mbps
+
+    def test_opportunistic_schemes_reorder_significantly(self, results):
+        assert results["preExOR"].reordering_ratio > 0.05
+        assert results["MCExOR"].reordering_ratio > 0.05
+
+    def test_predetermined_barely_reorders(self, results):
+        assert results["SPR"].reordering_ratio < 0.03
+
+    def test_all_schemes_make_progress(self, results):
+        for outcome in results.values():
+            assert outcome.throughput_mbps > 0.5
+
+
+class TestFig3LongLivedTcp:
+    """Fig. 3(a): ROUTE0, clear channel."""
+
+    @pytest.fixture(scope="class")
+    def panel(self):
+        # 0.5 s is long enough for TCP to leave slow start and for AFR/RIPPLE
+        # to build the queue backlog their aggregation depends on.
+        return run_longlived_panel("ROUTE0", 1e-6, duration_s=0.5, seed=1)
+
+    def test_direct_spr_is_worst(self, panel):
+        for n_flows in (1, 2):
+            assert panel.throughput_mbps["S"][n_flows] < panel.throughput_mbps["D"][n_flows]
+
+    def test_ripple_wins_over_every_other_scheme(self, panel):
+        for n_flows in (1, 2, 3):
+            best_other = max(
+                panel.throughput_mbps[label][n_flows] for label in ("S", "D", "R1", "A")
+            )
+            assert panel.throughput_mbps["R16"][n_flows] > best_other
+
+    def test_ripple_gain_is_at_least_the_paper_range(self, panel):
+        # The paper reports 100 %-300 % gains over the other approaches.
+        gain = panel.throughput_mbps["R16"][1] / panel.throughput_mbps["D"][1]
+        assert gain >= 2.0
+
+    def test_aggregation_beats_plain_dcf(self, panel):
+        assert panel.throughput_mbps["A"][1] > panel.throughput_mbps["D"][1]
+
+    def test_pure_mtxop_is_at_least_comparable_to_dcf(self, panel):
+        # Fig. 3(a): R1 achieves slightly higher throughput than DCF.
+        assert panel.throughput_mbps["R1"][1] > 0.9 * panel.throughput_mbps["D"][1]
+
+
+class TestFig4NoisyChannel:
+    def test_ripple_still_wins_at_ber_1e5(self):
+        panel = run_longlived_panel(
+            "ROUTE0", 1e-5, scheme_labels=("D", "A", "R16"), flow_sets=((1,),),
+            duration_s=0.3, seed=1,
+        )
+        assert panel.throughput_mbps["R16"][1] > panel.throughput_mbps["A"][1]
+        assert panel.throughput_mbps["R16"][1] > panel.throughput_mbps["D"][1]
+
+
+class TestRouteSensitivity:
+    def test_route2_is_worse_than_route0_for_ripple(self):
+        # Fig. 3: "a significantly lower throughput is achieved on ROUTE2".
+        r0 = run_longlived_panel("ROUTE0", 1e-6, scheme_labels=("R16",), flow_sets=((1,),),
+                                 duration_s=0.3, seed=1)
+        r2 = run_longlived_panel("ROUTE2", 1e-6, scheme_labels=("R16",), flow_sets=((1,),),
+                                 duration_s=0.3, seed=1)
+        assert r2.throughput_mbps["R16"][1] < r0.throughput_mbps["R16"][1]
+
+
+class TestCollisions:
+    def test_regular_collisions_ripple_on_top(self):
+        result = run_regular_collisions(flow_counts=(1, 3), duration_s=0.25, seed=1)
+        for n in (1, 3):
+            assert result.throughput_mbps["R16"][n] > result.throughput_mbps["D"][n]
+
+    def test_hidden_traffic_throttles_flow1(self):
+        result = run_hidden_collisions(hidden_counts=(0, 6), duration_s=0.3, seed=1)
+        for label in ("D", "R16"):
+            assert result.throughput_mbps[label][6] < result.throughput_mbps[label][0]
+
+
+class TestHops:
+    def test_throughput_drops_with_distance_and_ripple_leads(self):
+        result = run_hops(hop_counts=(2, 5), duration_s=0.3, seed=1)
+        for label in ("D", "R16"):
+            assert result.throughput_mbps[label][5] < result.throughput_mbps[label][2]
+        assert result.throughput_mbps["R16"][2] > result.throughput_mbps["D"][2]
+        assert result.throughput_mbps["R16"][5] > result.throughput_mbps["D"][5]
+
+
+class TestWebAndVoip:
+    def test_web_traffic_ripple_wins(self):
+        result = run_web_traffic(duration_s=0.5, seed=1)
+        assert result.total_mbps["R16"] > result.total_mbps["D"]
+
+    def test_voip_mos_ordering(self):
+        result = run_voip(bit_error_rate=1e-6, flow_groups=(10,), duration_s=1.0, seed=1)
+        assert result.mos["R16"][10] >= result.mos["D"][10]
+        for label in ("D", "A", "R16"):
+            assert 1.0 <= result.mos[label][10] <= 4.5
+
+
+class TestRippleOrderingEndToEnd:
+    def test_no_mac_level_reordering_under_ripple(self):
+        config = ScenarioConfig(
+            topology=fig1_topology(), scheme_label="R16", active_flows=[1, 2, 3],
+            duration_s=0.3, seed=3,
+        )
+        result = run_scenario(config)
+        # Any late arrivals are TCP loss retransmissions; with three competing
+        # flows the ratio must stay far below the 26-28 % of preExOR/MCExOR.
+        assert result.reordering_ratio < 0.05

@@ -1,0 +1,123 @@
+"""DCF and AFR behaviour over the real channel (small deterministic scenarios)."""
+
+import pytest
+
+from repro.sim.units import seconds
+from tests.conftest import build_chain_network, collect_deliveries, inject_packets
+
+
+class TestDcfSingleHop:
+    def test_packets_delivered_in_order(self):
+        net, _ = build_chain_network("dcf", n_nodes=2, ber=0.0, shadowing_deviation=0.0)
+        received = collect_deliveries(net, 1)
+        inject_packets(net, 0, 1, 20)
+        net.run_seconds(0.2)
+        assert [p.seq for p in received] == list(range(20))
+
+    def test_perfect_channel_no_retransmissions(self):
+        net, _ = build_chain_network("dcf", n_nodes=2, ber=0.0, shadowing_deviation=0.0)
+        inject_packets(net, 0, 1, 10)
+        net.run_seconds(0.2)
+        assert net.node(0).mac.stats.ack_timeouts == 0
+        assert net.node(0).mac.stats.data_frames_sent == 10
+
+    def test_ack_exchanged_per_frame(self):
+        net, _ = build_chain_network("dcf", n_nodes=2, ber=0.0, shadowing_deviation=0.0)
+        inject_packets(net, 0, 1, 5)
+        net.run_seconds(0.1)
+        assert net.node(1).mac.stats.ack_frames_sent == 5
+        assert net.node(0).mac.stats.ack_frames_received == 5
+
+    def test_queue_overflow_drops(self):
+        net, _ = build_chain_network("dcf", n_nodes=2, ber=0.0, shadowing_deviation=0.0)
+        inject_packets(net, 0, 1, 120)  # queue capacity is 50
+        net.run_seconds(0.5)
+        assert net.node(0).mac.stats.packets_dropped_queue > 0
+
+    def test_lossy_channel_triggers_retries_but_delivers(self):
+        net, _ = build_chain_network(
+            "dcf", n_nodes=2, hop_m=220.0, ber=1e-6, seed=5
+        )  # ~50 % frame loss on the single hop
+        received = collect_deliveries(net, 1)
+        inject_packets(net, 0, 1, 20)
+        net.run_seconds(1.0)
+        assert net.node(0).mac.stats.ack_timeouts > 0
+        assert len(received) >= 15  # MAC retries recover most packets
+
+
+class TestDcfMultiHop:
+    def test_three_hop_forwarding(self):
+        net, _ = build_chain_network("dcf", n_nodes=4, ber=0.0, shadowing_deviation=0.0)
+        received = collect_deliveries(net, 3)
+        inject_packets(net, 0, 3, 15)
+        net.run_seconds(0.3)
+        assert len(received) == 15
+        # Intermediate nodes forwarded at the network layer.
+        assert net.node(1).network.stats.forwarded == 15
+        assert net.node(2).network.stats.forwarded == 15
+
+    def test_no_duplicate_deliveries(self):
+        net, _ = build_chain_network("dcf", n_nodes=4, seed=9)
+        received = collect_deliveries(net, 3)
+        inject_packets(net, 0, 3, 30)
+        net.run_seconds(0.5)
+        seqs = [p.seq for p in received]
+        assert len(seqs) == len(set(seqs))
+
+    def test_mac_dedup_suppresses_retransmitted_duplicates(self):
+        # On a lossy link ACKs get lost, so the same frame is retransmitted and
+        # would be delivered twice without the (origin, seq) duplicate filter.
+        net, _ = build_chain_network("dcf", n_nodes=2, hop_m=200.0, seed=12)
+        received = collect_deliveries(net, 1)
+        inject_packets(net, 0, 1, 40)
+        net.run_seconds(1.0)
+        seqs = [p.seq for p in received]
+        assert len(seqs) == len(set(seqs))
+
+
+class TestAfrAggregation:
+    def test_frames_carry_multiple_packets(self):
+        net, _ = build_chain_network("afr", n_nodes=2, ber=0.0, shadowing_deviation=0.0)
+        received = collect_deliveries(net, 1)
+        inject_packets(net, 0, 1, 32)
+        net.run_seconds(0.2)
+        stats = net.node(0).mac.stats
+        assert len(received) == 32
+        assert stats.aggregated_frames > 0
+        assert stats.data_frames_sent < 32  # strictly fewer frames than packets
+        assert stats.mean_aggregation > 2
+
+    def test_aggregation_respects_maximum(self):
+        net, _ = build_chain_network(
+            "afr", n_nodes=2, ber=0.0, shadowing_deviation=0.0, max_aggregation=4
+        )
+        inject_packets(net, 0, 1, 40)
+        net.run_seconds(0.3)
+        assert net.node(0).mac.stats.mean_aggregation <= 4.0 + 1e-9
+
+    def test_afr_uses_fewer_frames_than_dcf(self):
+        results = {}
+        for scheme in ("dcf", "afr"):
+            net, _ = build_chain_network(scheme, n_nodes=2, ber=0.0, shadowing_deviation=0.0)
+            inject_packets(net, 0, 1, 48)
+            net.run_seconds(0.3)
+            results[scheme] = net.node(0).mac.stats.data_frames_sent
+        assert results["afr"] < results["dcf"]
+
+    def test_partial_corruption_retransmits_only_missing(self):
+        # A high BER corrupts some sub-packets; AFR must still deliver every
+        # packet eventually by retransmitting only what was lost.
+        net, _ = build_chain_network("afr", n_nodes=2, ber=2e-5, shadowing_deviation=0.0, seed=4)
+        received = collect_deliveries(net, 1)
+        inject_packets(net, 0, 1, 48)
+        net.run_seconds(1.0)
+        assert len(received) == 48
+        assert net.node(0).mac.stats.subpackets_sent > 48  # some were resent
+
+    def test_all_packets_unique_after_partial_retransmission(self):
+        net, _ = build_chain_network("afr", n_nodes=2, ber=2e-5, shadowing_deviation=0.0, seed=4)
+        received = collect_deliveries(net, 1)
+        inject_packets(net, 0, 1, 48)
+        net.run_seconds(1.0)
+        seqs = [p.seq for p in received]
+        assert len(seqs) == len(set(seqs))

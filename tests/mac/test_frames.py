@@ -1,0 +1,112 @@
+"""MAC frame construction, priority ranks and relay copies."""
+
+import pytest
+
+from repro.mac.frames import FrameKind, MacFrame, SubPacket, build_ack_frame, build_data_frame
+from repro.mac.timing import DEFAULT_TIMING
+from repro.packet import Packet
+from repro.phy.params import HIGH_RATE_PHY
+
+
+def subpackets(n=2, size=1000, dst=3):
+    return [
+        SubPacket(
+            packet=Packet(src=0, dst=dst, size_bytes=size, seq=i),
+            mac_seq=i,
+            bits=DEFAULT_TIMING.subpacket_bits(size),
+        )
+        for i in range(n)
+    ]
+
+
+class TestDataFrames:
+    def test_build_data_frame_fields(self):
+        frame = build_data_frame(
+            DEFAULT_TIMING, origin=0, final_dst=3, transmitter=0, receiver=None,
+            subpackets=subpackets(2), forwarder_list=(2, 1), flush_below=5,
+        )
+        assert frame.kind is FrameKind.DATA
+        assert frame.origin == 0 and frame.final_dst == 3
+        assert frame.forwarder_list == (2, 1)
+        assert frame.flush_below == 5
+        assert len(frame.subpackets) == 2
+
+    def test_header_grows_with_forwarders(self):
+        bare = build_data_frame(DEFAULT_TIMING, 0, 3, 0, 3, subpackets(1))
+        listed = build_data_frame(DEFAULT_TIMING, 0, 3, 0, None, subpackets(1), forwarder_list=(2, 1))
+        assert listed.header_bits > bare.header_bits
+
+    def test_total_bits_sums_subpackets(self):
+        frame = build_data_frame(DEFAULT_TIMING, 0, 3, 0, 3, subpackets(4))
+        assert frame.total_bits == frame.header_bits + 4 * DEFAULT_TIMING.subpacket_bits(1000)
+
+    def test_airtime_scales_with_aggregation(self):
+        small = build_data_frame(DEFAULT_TIMING, 0, 3, 0, 3, subpackets(1))
+        large = build_data_frame(DEFAULT_TIMING, 0, 3, 0, 3, subpackets(16))
+        assert large.airtime_ns(HIGH_RATE_PHY) > small.airtime_ns(HIGH_RATE_PHY)
+        assert large.airtime_ns(HIGH_RATE_PHY) < 16 * small.airtime_ns(HIGH_RATE_PHY)
+
+    def test_frame_ids_are_unique(self):
+        a = build_data_frame(DEFAULT_TIMING, 0, 3, 0, 3, subpackets(1))
+        b = build_data_frame(DEFAULT_TIMING, 0, 3, 0, 3, subpackets(1))
+        assert a.frame_id != b.frame_id
+
+
+class TestAckFrames:
+    def test_build_ack_frame(self):
+        ack = build_ack_frame(
+            DEFAULT_TIMING, origin=3, final_dst=0, transmitter=3, receiver=None,
+            acked_seqs=(0, 2, 5), ack_for_frame=77, forwarder_list=(2, 1),
+        )
+        assert ack.kind is FrameKind.ACK
+        assert ack.acked_seqs == (0, 2, 5)
+        assert ack.ack_for_frame == 77
+        assert ack.subpackets == []
+
+    def test_ack_airtime_is_much_shorter_than_data(self):
+        data = build_data_frame(DEFAULT_TIMING, 0, 3, 0, 3, subpackets(16))
+        ack = build_ack_frame(DEFAULT_TIMING, 3, 0, 3, 0, (0,), 1)
+        assert ack.airtime_ns(HIGH_RATE_PHY) < data.airtime_ns(HIGH_RATE_PHY) / 5
+
+
+class TestPriorityRanks:
+    """Section III-B2: destination rank 0, then forwarders in list order."""
+
+    def make(self):
+        return build_data_frame(
+            DEFAULT_TIMING, origin=0, final_dst=3, transmitter=0, receiver=None,
+            subpackets=subpackets(1), forwarder_list=(2, 1),
+        )
+
+    def test_destination_is_rank_zero(self):
+        assert self.make().priority_rank(3) == 0
+
+    def test_forwarders_ranked_by_list_position(self):
+        frame = self.make()
+        assert frame.priority_rank(2) == 1
+        assert frame.priority_rank(1) == 2
+
+    def test_unlisted_station_has_no_rank(self):
+        assert self.make().priority_rank(7) is None
+
+    def test_origin_has_no_rank(self):
+        assert self.make().priority_rank(0) is None
+
+
+class TestRelayCopies:
+    def test_relay_preserves_identity_and_changes_transmitter(self):
+        frame = build_data_frame(
+            DEFAULT_TIMING, 0, 3, 0, None, subpackets(3), forwarder_list=(2, 1), flush_below=1
+        )
+        relay = frame.relay_copy(transmitter=2)
+        assert relay.frame_id == frame.frame_id
+        assert relay.transmitter == 2
+        assert relay.origin == 0 and relay.final_dst == 3
+        assert relay.flush_below == 1
+        assert relay.forwarder_list == frame.forwarder_list
+
+    def test_relay_subpackets_are_shared_but_list_is_independent(self):
+        frame = build_data_frame(DEFAULT_TIMING, 0, 3, 0, None, subpackets(3), forwarder_list=(2, 1))
+        relay = frame.relay_copy(transmitter=1)
+        relay.subpackets = relay.subpackets[:1]
+        assert len(frame.subpackets) == 3

@@ -1,0 +1,207 @@
+"""Radio + channel behaviour: delivery, carrier sensing, collisions, hidden terminals."""
+
+import pytest
+
+from repro.mac.frames import FrameKind, MacFrame, SubPacket
+from repro.mac.timing import DEFAULT_TIMING
+from repro.packet import Packet
+from repro.phy.channel import WirelessChannel
+from repro.phy.error_models import BitErrorModel
+from repro.phy.params import PhyParams
+from repro.phy.propagation import ShadowingPropagation
+from repro.phy.radio import Radio, RadioState
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.sim.units import us
+
+
+class RecordingMac:
+    """Minimal MAC stub capturing everything the radio reports."""
+
+    def __init__(self):
+        self.received = []
+        self.busy_events = 0
+        self.idle_events = 0
+        self.tx_complete = []
+
+    def on_channel_busy(self):
+        self.busy_events += 1
+
+    def on_channel_idle(self):
+        self.idle_events += 1
+
+    def on_frame_received(self, frame, errors):
+        self.received.append((frame, errors))
+
+    def on_transmission_complete(self, frame):
+        self.tx_complete.append(frame)
+
+
+def make_frame(origin=0, transmitter=0, receiver=1, n_sub=1, size=1000):
+    subpackets = [
+        SubPacket(
+            packet=Packet(src=origin, dst=receiver, size_bytes=size, seq=i),
+            mac_seq=i,
+            bits=DEFAULT_TIMING.subpacket_bits(size),
+        )
+        for i in range(n_sub)
+    ]
+    return MacFrame(
+        kind=FrameKind.DATA,
+        origin=origin,
+        final_dst=receiver,
+        transmitter=transmitter,
+        receiver=receiver,
+        header_bits=DEFAULT_TIMING.header_bits(),
+        subpackets=subpackets,
+    )
+
+
+def build(positions, ber=0.0, deviation=0.0, seed=1):
+    """A channel with deterministic propagation (no shadowing) by default."""
+    sim = Simulator()
+    channel = WirelessChannel(
+        sim,
+        PhyParams(),
+        propagation=ShadowingPropagation(shadowing_deviation_db=deviation),
+        error_model=BitErrorModel(ber),
+        rng=RandomStreams(seed),
+    )
+    radios = []
+    macs = []
+    for node_id, position in enumerate(positions):
+        radio = Radio(node_id, position, channel)
+        mac = RecordingMac()
+        radio.attach_mac(mac)
+        radios.append(radio)
+        macs.append(mac)
+    return sim, channel, radios, macs
+
+
+class TestDelivery:
+    def test_nearby_receiver_decodes_frame(self):
+        sim, channel, radios, macs = build([(0, 0), (100, 0)])
+        frame = make_frame()
+        radios[0].transmit(frame, us(100))
+        sim.run()
+        assert len(macs[1].received) == 1
+        received_frame, errors = macs[1].received[0]
+        assert received_frame is frame
+        assert errors.header_ok and errors.subpacket_ok == [True]
+
+    def test_out_of_range_receiver_hears_nothing(self):
+        sim, channel, radios, macs = build([(0, 0), (5000, 0)])
+        radios[0].transmit(make_frame(), us(100))
+        sim.run()
+        assert macs[1].received == []
+        assert macs[1].busy_events == 0
+
+    def test_sender_gets_completion_callback(self):
+        sim, channel, radios, macs = build([(0, 0), (100, 0)])
+        frame = make_frame()
+        radios[0].transmit(frame, us(100))
+        sim.run()
+        assert macs[0].tx_complete == [frame]
+
+    def test_broadcast_reaches_all_in_range(self):
+        sim, channel, radios, macs = build([(0, 0), (100, 0), (0, 100), (120, 120)])
+        radios[0].transmit(make_frame(), us(50))
+        sim.run()
+        assert all(len(mac.received) == 1 for mac in macs[1:])
+
+    def test_half_duplex_sender_does_not_receive_itself(self):
+        sim, channel, radios, macs = build([(0, 0), (100, 0)])
+        radios[0].transmit(make_frame(), us(50))
+        sim.run()
+        assert macs[0].received == []
+
+
+class TestCarrierSense:
+    def test_busy_during_transmission(self):
+        sim, channel, radios, macs = build([(0, 0), (100, 0)])
+        radios[0].transmit(make_frame(), us(100))
+        sim.run(until=us(50))
+        assert radios[0].is_channel_busy  # own transmission
+        assert radios[1].is_channel_busy  # sensed signal
+        sim.run()
+        assert not radios[0].is_channel_busy
+        assert not radios[1].is_channel_busy
+
+    def test_busy_idle_callbacks_fire_once_per_transition(self):
+        sim, channel, radios, macs = build([(0, 0), (100, 0)])
+        radios[0].transmit(make_frame(), us(100))
+        sim.run()
+        assert macs[1].busy_events == 1
+        assert macs[1].idle_events == 1
+
+    def test_idle_since_updates_at_end_of_signal(self):
+        sim, channel, radios, macs = build([(0, 0), (100, 0)])
+        radios[0].transmit(make_frame(), us(100))
+        sim.run()
+        assert radios[1].idle_since >= us(100)
+
+    def test_radio_state_enum(self):
+        sim, channel, radios, macs = build([(0, 0), (100, 0)])
+        assert radios[0].state is RadioState.IDLE
+        radios[0].transmit(make_frame(), us(100))
+        assert radios[0].state is RadioState.TRANSMITTING
+        sim.run(until=us(10))
+        assert radios[1].state is RadioState.RECEIVING
+
+
+class TestCollisions:
+    def test_overlapping_transmissions_collide_at_receiver(self):
+        # Two senders both in range of the middle receiver transmit at once.
+        sim, channel, radios, macs = build([(0, 0), (150, 0), (300, 0)])
+        radios[0].transmit(make_frame(origin=0, transmitter=0, receiver=1), us(100))
+        radios[2].transmit(make_frame(origin=2, transmitter=2, receiver=1), us(100))
+        sim.run()
+        assert macs[1].received == []
+        assert radios[1].stats.frames_collided >= 1
+
+    def test_hidden_terminal_collision(self):
+        # Sender 3 is beyond carrier-sense range of sender 0 (560 m > ~400 m
+        # nominal CS range) but close enough to receiver 1 (360 m) that its
+        # signal interferes there: the classic hidden-terminal loss.
+        sim, channel, radios, macs = build([(0, 0), (200, 0), (760, 0), (560, 0)])
+        radios[0].transmit(make_frame(origin=0, transmitter=0, receiver=1), us(200))
+        sim.run(until=us(50))
+        assert not radios[3].is_channel_busy  # genuinely hidden
+        radios[3].transmit(make_frame(origin=3, transmitter=3, receiver=2), us(200))
+        sim.run()
+        assert macs[1].received == []
+
+    def test_non_overlapping_transmissions_both_delivered(self):
+        sim, channel, radios, macs = build([(0, 0), (150, 0), (300, 0)])
+        radios[0].transmit(make_frame(origin=0, transmitter=0, receiver=1), us(50))
+        sim.run()
+        radios[2].transmit(make_frame(origin=2, transmitter=2, receiver=1), us(50))
+        sim.run()
+        assert len(macs[1].received) == 2
+
+    def test_transmitting_while_receiving_destroys_reception(self):
+        sim, channel, radios, macs = build([(0, 0), (100, 0)])
+        radios[0].transmit(make_frame(origin=0, transmitter=0, receiver=1), us(100))
+        sim.run(until=us(10))
+        radios[1].transmit(make_frame(origin=1, transmitter=1, receiver=0), us(10))
+        sim.run()
+        assert macs[1].received == []
+
+
+class TestBitErrors:
+    def test_high_ber_corrupts_some_subpackets(self):
+        sim, channel, radios, macs = build([(0, 0), (100, 0)], ber=1e-4)
+        for _ in range(30):
+            radios[0].transmit(make_frame(n_sub=4), us(200))
+            sim.run()
+        flags = [ok for _, errors in macs[1].received for ok in errors.subpacket_ok]
+        assert any(flags) and not all(flags)
+
+    def test_link_delivery_probability_combines_power_and_ber(self):
+        sim, channel, radios, macs = build([(0, 0), (100, 0)], ber=1e-5)
+        p = channel.link_delivery_probability(radios[0], radios[1], frame_bits=8000)
+        assert 0.85 < p < 0.95  # ~0.92 from BER alone at this short distance
+
+    def test_distance_helper(self):
+        sim, channel, radios, macs = build([(0, 0), (3, 4)])
+        assert channel.distance(radios[0], radios[1]) == pytest.approx(5.0)

@@ -1,0 +1,95 @@
+"""preExOR and MCExOR forwarding behaviour."""
+
+import pytest
+
+from tests.conftest import build_chain_network, collect_deliveries, inject_packets
+
+
+class TestPreExor:
+    def test_delivers_over_multiple_hops(self):
+        net, _ = build_chain_network("preexor", n_nodes=4, seed=3)
+        received = collect_deliveries(net, 3)
+        inject_packets(net, 0, 3, 30)
+        net.run_seconds(1.0)
+        assert len({p.seq for p in received}) >= 25
+
+    def test_forwarders_take_ownership_and_recontend(self):
+        net, _ = build_chain_network("preexor", n_nodes=4, seed=3)
+        inject_packets(net, 0, 3, 20)
+        net.run_seconds(1.0)
+        # Ownership transfer is visible as forwarders originating transmissions
+        # of packets they did not source.
+        assert net.node(1).mac.stats.data_frames_sent + net.node(2).mac.stats.data_frames_sent > 0
+        assert net.node(1).mac.stats.relayed_data_frames + net.node(2).mac.stats.relayed_data_frames > 0
+
+    def test_every_receiver_uses_its_own_ack_slot(self):
+        # Sequential ACKs: with several receivers per transmission the number
+        # of ACKs sent network-wide exceeds the number of data frames received
+        # by the destination alone.
+        net, _ = build_chain_network("preexor", n_nodes=4, ber=0.0, shadowing_deviation=0.0, seed=3)
+        inject_packets(net, 0, 3, 10)
+        net.run_seconds(0.5)
+        total_acks = sum(net.node(n).mac.stats.ack_frames_sent for n in range(4))
+        dest_data = net.node(3).mac.stats.data_frames_received
+        assert total_acks > dest_data
+
+    def test_reordering_can_occur_on_lossy_channel(self):
+        net, _ = build_chain_network("preexor", n_nodes=4, hop_m=150.0, seed=2)
+        received = collect_deliveries(net, 3)
+        inject_packets(net, 0, 3, 60)
+        net.run_seconds(2.0)
+        seqs = [p.seq for p in received]
+        out_of_order = sum(1 for a, b in zip(seqs, seqs[1:]) if b < a)
+        assert out_of_order > 0  # the pathology RIPPLE is designed to remove
+
+    def test_sequential_ack_delay_formula(self):
+        net, _ = build_chain_network("preexor", n_nodes=4)
+        mac = net.node(1).mac
+        ack = mac.timing.ack_airtime_ns(mac.phy)
+        sifs = mac.timing.sifs_ns
+        assert mac.ack_delay_ns(0, 2) == sifs
+        assert mac.ack_delay_ns(1, 2) == sifs + (ack + sifs)
+        assert mac.ack_delay_ns(2, 2) == sifs + 2 * (ack + sifs)
+
+    def test_ack_window_covers_all_slots(self):
+        net, _ = build_chain_network("preexor", n_nodes=4)
+        mac = net.node(0).mac
+        assert mac.ack_window_ns(2) > mac.ack_delay_ns(2, 2)
+
+
+class TestMcExor:
+    def test_delivers_over_multiple_hops(self):
+        net, _ = build_chain_network("mcexor", n_nodes=4, seed=4)
+        received = collect_deliveries(net, 3)
+        inject_packets(net, 0, 3, 30)
+        net.run_seconds(1.0)
+        assert len({p.seq for p in received}) >= 25
+
+    def test_compressed_ack_delay_formula(self):
+        net, _ = build_chain_network("mcexor", n_nodes=4)
+        mac = net.node(1).mac
+        sifs = mac.timing.sifs_ns
+        assert mac.ack_delay_ns(0, 2) == sifs
+        assert mac.ack_delay_ns(1, 2) == 2 * sifs
+        assert mac.ack_delay_ns(2, 2) == 3 * sifs
+
+    def test_compressed_acks_use_less_airtime_than_preexor(self):
+        acks = {}
+        for scheme in ("preexor", "mcexor"):
+            net, _ = build_chain_network(scheme, n_nodes=4, ber=0.0, shadowing_deviation=0.0, seed=3)
+            inject_packets(net, 0, 3, 15)
+            net.run_seconds(0.5)
+            acks[scheme] = sum(net.node(n).mac.stats.ack_frames_sent for n in range(4))
+        assert acks["mcexor"] < acks["preexor"]
+
+    def test_ack_suppression_flag(self):
+        net, _ = build_chain_network("mcexor", n_nodes=4)
+        assert net.node(0).mac.suppress_ack_on_overheard_ack() is True
+        net2, _ = build_chain_network("preexor", n_nodes=4)
+        assert net2.node(0).mac.suppress_ack_on_overheard_ack() is False
+
+    def test_retry_limit_drops_unreachable_packets(self):
+        net, _ = build_chain_network("mcexor", n_nodes=2, hop_m=900.0, seed=3)
+        inject_packets(net, 0, 1, 3)
+        net.run_seconds(1.0)
+        assert net.node(0).mac.stats.packets_dropped_retry > 0

@@ -1,0 +1,133 @@
+"""Discrete-event engine: ordering, cancellation, run-until semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(30, fired.append, "c")
+        sim.schedule(10, fired.append, "a")
+        sim.schedule(20, fired.append, "b")
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_scheduling_order(self):
+        sim = Simulator()
+        fired = []
+        for label in "abcde":
+            sim.schedule(100, fired.append, label)
+        sim.run()
+        assert fired == list("abcde")
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        sim.schedule(123, lambda: None)
+        sim.run()
+        assert sim.now == 123
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(50, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(10, lambda: None)
+
+    def test_callbacks_can_schedule_more_events(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 5:
+                sim.schedule(10, chain, n + 1)
+
+        sim.schedule(0, chain, 0)
+        sim.run()
+        assert fired == [0, 1, 2, 3, 4, 5]
+        assert sim.now == 50
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(10, fired.append, "x")
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        event = sim.schedule(10, lambda: None)
+        event.cancel()
+        event.cancel()
+        sim.run()
+        assert sim.processed_events == 0
+
+    def test_other_events_survive_a_cancellation(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10, fired.append, "keep")
+        sim.schedule(10, fired.append, "drop").cancel()
+        sim.run()
+        assert fired == ["keep"]
+
+
+class TestRunControl:
+    def test_run_until_executes_boundary_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(100, fired.append, "at")
+        sim.schedule(101, fired.append, "after")
+        sim.run(until=100)
+        assert fired == ["at"]
+        assert sim.now == 100
+
+    def test_run_until_advances_clock_even_without_events(self):
+        sim = Simulator()
+        sim.run(until=500)
+        assert sim.now == 500
+
+    def test_run_for_is_relative(self):
+        sim = Simulator()
+        sim.run(until=100)
+        sim.run_for(50)
+        assert sim.now == 150
+
+    def test_max_events(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(i, fired.append, i)
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_processed_events_counts_only_fired(self):
+        sim = Simulator()
+        sim.schedule(1, lambda: None)
+        sim.schedule(2, lambda: None).cancel()
+        sim.run()
+        assert sim.processed_events == 1
+
+    @given(delays=st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=50))
+    def test_events_never_fire_out_of_order(self, delays):
+        sim = Simulator()
+        observed = []
+        for delay in delays:
+            sim.schedule(delay, lambda d=delay: observed.append(sim.now))
+        sim.run()
+        assert observed == sorted(observed)
+        assert len(observed) == len(delays)

@@ -1,0 +1,149 @@
+"""Traffic generators: FTP, web ON/OFF, VoIP on-off, CBR / saturating UDP."""
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.units import ms, seconds
+from repro.traffic.cbr import CbrSource, SaturatingSource
+from repro.traffic.ftp import FtpApplication
+from repro.traffic.voip import VoipFlow
+from repro.traffic.web import WebFlow, pareto_transfer_bytes
+from repro.transport.tcp import TcpSender, TcpSink
+from repro.transport.udp import UdpReceiver, UdpSender
+from tests.conftest import build_chain_network
+
+
+class TestParetoTransfers:
+    def test_mean_is_close_to_target(self):
+        rng = np.random.default_rng(1)
+        sizes = [pareto_transfer_bytes(rng, 80_000, 1.5) for _ in range(20_000)]
+        assert np.mean(sizes) == pytest.approx(80_000, rel=0.2)
+
+    def test_sizes_are_positive(self):
+        rng = np.random.default_rng(2)
+        assert all(pareto_transfer_bytes(rng, 80_000, 1.5) >= 1 for _ in range(100))
+
+    def test_heavy_tail_exists(self):
+        rng = np.random.default_rng(3)
+        sizes = [pareto_transfer_bytes(rng, 80_000, 1.5) for _ in range(5000)]
+        assert max(sizes) > 10 * 80_000  # occasional very large objects
+
+    def test_shape_must_exceed_one(self):
+        rng = np.random.default_rng(4)
+        with pytest.raises(ValueError):
+            pareto_transfer_bytes(rng, 80_000, 1.0)
+
+
+class TestFtp:
+    def test_start_is_idempotent(self):
+        net, _ = build_chain_network("dcf", n_nodes=2, ber=0.0, shadowing_deviation=0.0)
+        net.install_transport()
+        sender = TcpSender(net.sim, net.node(0).transport, 1, 1)
+        TcpSink(net.sim, net.node(1).transport, 1, peer=0)
+        app = FtpApplication(sender)
+        app.start()
+        app.start()
+        net.run_seconds(0.05)
+        assert sender.stats.segments_sent > 0
+
+
+class TestWebFlow:
+    def test_transfers_alternate_with_think_time(self):
+        net, _ = build_chain_network("afr", n_nodes=2, ber=0.0, shadowing_deviation=0.0)
+        net.install_transport()
+        sender = TcpSender(net.sim, net.node(0).transport, 1, 1)
+        sink = TcpSink(net.sim, net.node(1).transport, 1, peer=0)
+        web = WebFlow(net.sim, sender, np.random.default_rng(5), mean_transfer_bytes=20_000,
+                      mean_off_time_s=0.05)
+        web.start()
+        net.run_seconds(2.0)
+        assert web.stats.transfers_started >= 2
+        assert web.stats.transfers_completed >= 1
+        assert sink.stats.unique_bytes > 0
+
+    def test_stop_prevents_new_transfers(self):
+        net, _ = build_chain_network("afr", n_nodes=2, ber=0.0, shadowing_deviation=0.0)
+        net.install_transport()
+        sender = TcpSender(net.sim, net.node(0).transport, 1, 1)
+        TcpSink(net.sim, net.node(1).transport, 1, peer=0)
+        web = WebFlow(net.sim, sender, np.random.default_rng(6), mean_transfer_bytes=5_000,
+                      mean_off_time_s=0.01)
+        web.start()
+        net.run_seconds(0.2)
+        web.stop()
+        started = web.stats.transfers_started
+        net.run_seconds(0.5)
+        assert web.stats.transfers_started <= started + 1
+
+
+class TestVoipFlow:
+    def test_packetisation_rate(self):
+        # 96 kb/s at 20 ms intervals = 240-byte packets.
+        net, _ = build_chain_network("dcf", n_nodes=2, ber=0.0, shadowing_deviation=0.0)
+        net.install_transport()
+        sender = UdpSender(net.sim, net.node(0).transport, 1, 1)
+        receiver = UdpReceiver(net.sim, net.node(1).transport, 1)
+        flow = VoipFlow(net.sim, sender, receiver, np.random.default_rng(7))
+        assert flow.packet_bytes == 240
+
+    def test_on_off_pattern_sends_packets(self):
+        net, _ = build_chain_network("dcf", n_nodes=2, ber=0.0, shadowing_deviation=0.0)
+        net.install_transport()
+        sender = UdpSender(net.sim, net.node(0).transport, 1, 1)
+        receiver = UdpReceiver(net.sim, net.node(1).transport, 1)
+        flow = VoipFlow(net.sim, sender, receiver, np.random.default_rng(8))
+        flow.start()
+        net.run_seconds(3.0)
+        assert flow.stats.packets_sent > 20
+        assert flow.stats.on_periods >= 1
+        # An on-off source at 96 kb/s averages well below the always-on rate.
+        assert flow.stats.packets_sent < 3.0 / 0.02
+
+    def test_quality_on_clean_channel_is_good(self):
+        net, _ = build_chain_network("dcf", n_nodes=2, ber=0.0, shadowing_deviation=0.0)
+        net.install_transport()
+        sender = UdpSender(net.sim, net.node(0).transport, 1, 1)
+        receiver = UdpReceiver(net.sim, net.node(1).transport, 1)
+        flow = VoipFlow(net.sim, sender, receiver, np.random.default_rng(9))
+        flow.start()
+        net.run_seconds(3.0)
+        quality = flow.quality()
+        assert quality.loss_rate < 0.05
+        assert quality.mos > 3.5
+
+
+class TestCbrSources:
+    def test_cbr_rate(self):
+        net, _ = build_chain_network("dcf", n_nodes=2, ber=0.0, shadowing_deviation=0.0)
+        net.install_transport()
+        sender = UdpSender(net.sim, net.node(0).transport, 1, 1)
+        UdpReceiver(net.sim, net.node(1).transport, 1)
+        source = CbrSource(net.sim, sender, packet_bytes=500, interval_ns=ms(10))
+        source.start()
+        net.run_seconds(0.5)
+        assert 45 <= source.stats.packets_sent <= 52
+
+    def test_saturating_source_keeps_queue_full(self):
+        net, _ = build_chain_network("dcf", n_nodes=2, ber=0.0, shadowing_deviation=0.0)
+        net.install_transport()
+        sender = UdpSender(net.sim, net.node(0).transport, 1, 1)
+        receiver = UdpReceiver(net.sim, net.node(1).transport, 1)
+        source = SaturatingSource(net.sim, sender, net.node(0).mac)
+        source.start()
+        net.run_seconds(0.3)
+        # The receiver sees a continuous stream: the MAC was never starved.
+        assert receiver.stats.received > 500
+
+    def test_sources_can_be_stopped(self):
+        net, _ = build_chain_network("dcf", n_nodes=2, ber=0.0, shadowing_deviation=0.0)
+        net.install_transport()
+        sender = UdpSender(net.sim, net.node(0).transport, 1, 1)
+        UdpReceiver(net.sim, net.node(1).transport, 1)
+        source = CbrSource(net.sim, sender, interval_ns=ms(5))
+        source.start()
+        net.run_seconds(0.1)
+        source.stop()
+        sent = source.stats.packets_sent
+        net.run_seconds(0.2)
+        assert source.stats.packets_sent == sent

@@ -1,0 +1,147 @@
+"""TCP Reno over the simulated wireless network."""
+
+import pytest
+
+from repro.sim.units import seconds
+from repro.traffic.ftp import FtpApplication
+from repro.transport.tcp import TcpSender, TcpSink
+from tests.conftest import build_chain_network
+
+
+def make_tcp(net, src, dst, flow_id=1, window=64):
+    net.install_transport()
+    sender = TcpSender(net.sim, net.node(src).transport, flow_id, dst, awnd_segments=window)
+    sink = TcpSink(net.sim, net.node(dst).transport, flow_id, peer=src)
+    return sender, sink
+
+
+class TestBulkTransfer:
+    def test_ftp_moves_data_over_one_hop(self):
+        net, _ = build_chain_network("dcf", n_nodes=2, ber=0.0, shadowing_deviation=0.0)
+        sender, sink = make_tcp(net, 0, 1)
+        FtpApplication(sender).start()
+        net.run_seconds(0.3)
+        assert sink.stats.unique_bytes > 100_000
+        # The MAC never re-orders on a single perfect hop; the only late
+        # arrivals are TCP's own loss retransmissions (queue overflow).
+        assert sink.stats.reordered_segments <= sender.stats.retransmissions
+
+    def test_ftp_moves_data_over_three_hops(self):
+        net, _ = build_chain_network("dcf", n_nodes=4, ber=0.0, shadowing_deviation=0.0)
+        sender, sink = make_tcp(net, 0, 3)
+        FtpApplication(sender).start()
+        net.run_seconds(0.3)
+        assert sink.stats.unique_bytes > 50_000
+
+    def test_goodput_accounts_only_unique_bytes(self):
+        net, _ = build_chain_network("dcf", n_nodes=2, ber=0.0, shadowing_deviation=0.0)
+        sender, sink = make_tcp(net, 0, 1)
+        FtpApplication(sender).start()
+        net.run_seconds(0.2)
+        assert sink.stats.unique_bytes == sink.stats.segments_received * 1000 - sink.stats.duplicate_segments * 1000
+        assert sink.goodput_bps(seconds(0.2)) == pytest.approx(sink.stats.unique_bytes * 8 / 0.2)
+
+    def test_cwnd_grows_from_slow_start(self):
+        net, _ = build_chain_network("dcf", n_nodes=2, ber=0.0, shadowing_deviation=0.0)
+        sender, sink = make_tcp(net, 0, 1)
+        assert sender.cwnd == 2.0
+        FtpApplication(sender).start()
+        net.run_seconds(0.2)
+        assert sender.cwnd > 4.0
+
+    def test_window_never_exceeds_awnd(self):
+        net, _ = build_chain_network("dcf", n_nodes=2, ber=0.0, shadowing_deviation=0.0)
+        sender, sink = make_tcp(net, 0, 1, window=8)
+        FtpApplication(sender).start()
+        net.run_seconds(0.2)
+        assert sender.window <= 8
+        assert sender.flight_size <= 8 + 1
+
+
+class TestFiniteTransfers:
+    def test_send_bytes_completes(self):
+        net, _ = build_chain_network("dcf", n_nodes=2, ber=0.0, shadowing_deviation=0.0)
+        sender, sink = make_tcp(net, 0, 1)
+        done = []
+        sender.on_transfer_complete(lambda: done.append(net.sim.now))
+        sender.send_bytes(50_000)
+        net.run_seconds(0.3)
+        assert done, "transfer never completed"
+        assert sink.stats.unique_bytes >= 50_000
+        assert sender.transfer_complete
+
+    def test_multiple_transfers_back_to_back(self):
+        net, _ = build_chain_network("dcf", n_nodes=2, ber=0.0, shadowing_deviation=0.0)
+        sender, sink = make_tcp(net, 0, 1)
+        sender.send_bytes(10_000)
+        net.run_seconds(0.1)
+        first = sink.stats.unique_bytes
+        sender.send_bytes(10_000)
+        net.run_seconds(0.1)
+        assert sink.stats.unique_bytes >= first + 10_000
+
+    def test_zero_byte_send_is_noop(self):
+        net, _ = build_chain_network("dcf", n_nodes=2, ber=0.0, shadowing_deviation=0.0)
+        sender, sink = make_tcp(net, 0, 1)
+        sender.send_bytes(0)
+        net.run_seconds(0.05)
+        assert sender.stats.segments_sent == 0
+
+
+class TestLossRecovery:
+    def test_recovers_on_lossy_link(self):
+        # ~25-30 % frame loss per attempt; MAC retries absorb most of it but
+        # TCP still sees occasional losses and must keep making progress.
+        net, _ = build_chain_network("dcf", n_nodes=2, hop_m=235.0, seed=6)
+        sender, sink = make_tcp(net, 0, 1)
+        FtpApplication(sender).start()
+        net.run_seconds(1.0)
+        assert sink.stats.unique_bytes > 100_000
+        assert sink.next_expected > 0
+
+    def test_dupacks_trigger_fast_retransmit_under_reordering(self):
+        # preExOR re-orders packets, which must show up as duplicate ACKs and
+        # fast retransmits at the sender (the paper's central observation).
+        net, _ = build_chain_network("preexor", n_nodes=4, hop_m=150.0, seed=2)
+        sender, sink = make_tcp(net, 0, 3)
+        FtpApplication(sender).start()
+        net.run_seconds(1.0)
+        assert sender.stats.duplicate_acks > 0
+        assert sink.stats.reordered_segments > 0
+
+    def test_rto_recovers_from_total_blackout(self):
+        # The link is essentially unusable; after RTO backoff the sender keeps
+        # trying rather than deadlocking.
+        net, _ = build_chain_network("dcf", n_nodes=2, hop_m=600.0, seed=2)
+        sender, sink = make_tcp(net, 0, 1)
+        FtpApplication(sender).start()
+        net.run_seconds(2.0)
+        assert sender.stats.timeouts > 0
+        assert sender.stats.segments_sent > sender.stats.timeouts
+
+    def test_rtt_estimate_is_learned(self):
+        net, _ = build_chain_network("dcf", n_nodes=2, ber=0.0, shadowing_deviation=0.0)
+        sender, sink = make_tcp(net, 0, 1)
+        FtpApplication(sender).start()
+        net.run_seconds(0.1)
+        assert sender.srtt_ns is not None
+        assert sender.srtt_ns < seconds(0.05)
+        assert sender.rto_ns >= sender.min_rto_ns
+
+
+class TestSinkAccounting:
+    def test_reordering_counted_only_for_late_packets(self):
+        net, _ = build_chain_network("ripple", n_nodes=4, hop_m=150.0, seed=3)
+        sender, sink = make_tcp(net, 0, 3)
+        FtpApplication(sender).start()
+        net.run_seconds(0.5)
+        # RIPPLE's Rq guarantees the MAC never re-orders; any late arrivals at
+        # the sink are TCP's own retransmissions of genuinely lost segments.
+        assert sink.stats.reordered_segments <= sender.stats.retransmissions
+
+    def test_acks_sent_for_every_segment(self):
+        net, _ = build_chain_network("dcf", n_nodes=2, ber=0.0, shadowing_deviation=0.0)
+        sender, sink = make_tcp(net, 0, 1)
+        FtpApplication(sender).start()
+        net.run_seconds(0.1)
+        assert sink.stats.acks_sent == sink.stats.segments_received
