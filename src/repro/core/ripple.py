@@ -55,6 +55,39 @@ class _PendingRelay:
     event: Optional[Event] = None
 
 
+class _RecentFrameIds:
+    """Insertion-ordered set of frame ids with a hard capacity.
+
+    Forwarders remember which frames they have relayed or suppressed so they
+    never relay the same frame twice.  A frame exchange only spans one mTXOP
+    (milliseconds), after which its id never appears on the air again, so
+    remembering every id for the whole run grows memory without bound on long
+    simulations.  Evicting the oldest ids once the capacity is exceeded keeps
+    the memory constant while still covering every exchange that can possibly
+    still be in flight (frame ids are globally monotonic).
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        self.capacity = int(capacity)
+        self._ids: Dict[int, None] = {}
+
+    def add(self, frame_id: int) -> None:
+        if frame_id in self._ids:
+            return
+        self._ids[frame_id] = None
+        while len(self._ids) > self.capacity:
+            del self._ids[next(iter(self._ids))]
+
+    def discard(self, frame_id: int) -> None:
+        self._ids.pop(frame_id, None)
+
+    def __contains__(self, frame_id: int) -> bool:
+        return frame_id in self._ids
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+
 @dataclass
 class RippleStats:
     """RIPPLE-specific counters, kept separately from the generic MAC counters."""
@@ -102,8 +135,8 @@ class RippleMac(MacLayer):
         self._ack_timeout_event: Optional[Event] = None
         # --- forwarder-side state ----------------------------------------------
         self._pending_relays: Dict[int, _PendingRelay] = {}
-        self._relayed_frames: Set[int] = set()
-        self._suppressed_frames: Set[int] = set()
+        self._relayed_frames = _RecentFrameIds()
+        self._suppressed_frames = _RecentFrameIds()
         # --- destination-side state --------------------------------------------
         self._acked_seqs_per_origin: Dict[int, Set[int]] = {}
 
@@ -292,6 +325,13 @@ class RippleMac(MacLayer):
             if ok
         ]
         already_have = self._acked_seqs_per_origin.setdefault(frame.origin, set())
+        if frame.flush_below > 0:
+            # The origin never retransmits sequence numbers below its flush
+            # watermark, so entries under it can no longer be re-acked and
+            # would otherwise accumulate for the whole run.
+            already_have.difference_update(
+                [seq for seq in already_have if seq < frame.flush_below]
+            )
         acked: List[int] = sorted(
             {sp.mac_seq for sp in received_now}
             | {sp.mac_seq for sp in frame.subpackets if sp.mac_seq in already_have}

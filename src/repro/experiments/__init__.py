@@ -15,8 +15,22 @@ Fig. 10     :func:`repro.experiments.wigle.run_wigle`               Wigle topolo
 Fig. 12     :func:`repro.experiments.roofnet.run_roofnet`           Roofnet topology
 (extra)     :mod:`repro.experiments.ablation`                       aggregation / forwarder ablations
 ==========  ==========================================  ==============================
+
+Each experiment expresses its work as a declarative grid of
+:class:`ScenarioConfig` objects and routes it through
+:class:`~repro.experiments.parallel.SweepRunner` (multiprocessing fan-out
+plus an on-disk result cache keyed by a content hash of the config; see
+:mod:`repro.experiments.parallel`).  ``python -m repro.experiments`` lists
+and runs any figure/table from the command line with ``--jobs``,
+``--seeds`` and ``--no-cache`` flags.
 """
 
+from repro.experiments.parallel import (
+    ResultCache,
+    SweepRunner,
+    config_digest,
+    expand_grid,
+)
 from repro.experiments.runner import (
     DEFAULT_SCHEME_LABELS,
     PAPER_SCHEMES,
@@ -30,9 +44,13 @@ from repro.experiments.runner import (
 __all__ = [
     "DEFAULT_SCHEME_LABELS",
     "PAPER_SCHEMES",
+    "ResultCache",
     "ScenarioConfig",
     "ScenarioResult",
+    "SweepRunner",
     "build_network",
+    "config_digest",
+    "expand_grid",
     "run_scenario",
     "sweep_schemes",
 ]

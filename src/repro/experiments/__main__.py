@@ -1,0 +1,272 @@
+"""Command-line entry point for the experiment sweeps.
+
+List everything the harness can reproduce::
+
+    python -m repro.experiments list
+
+Run any figure/table by name, fanned out over worker processes and served
+incrementally from the on-disk result cache::
+
+    python -m repro.experiments run fig3 --jobs 4
+    python -m repro.experiments run fig6a fig6b --seeds 3 --duration 0.2
+    python -m repro.experiments run table3 --no-cache
+
+Results are rendered as the aligned text tables of
+:mod:`repro.experiments.report`; a cache summary (hits/misses) is printed
+at the end.  The cache lives under ``.repro-cache`` (override with
+``--cache-dir`` or the ``REPRO_CACHE_DIR`` environment variable) and is
+keyed by a content hash of each scenario config, so a second invocation of
+the same sweep is served almost entirely from disk.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.experiments.parallel import ResultCache, SweepRunner
+from repro.experiments.report import format_table, render_panel
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One runnable figure/table: a renderer plus its bookkeeping."""
+
+    name: str
+    description: str
+    #: (runner, duration_s or None for the experiment's default, seed) -> text
+    render: Callable[[SweepRunner, Optional[float], int], str]
+
+
+def _duration_kwargs(duration_s: Optional[float]) -> dict:
+    return {} if duration_s is None else {"duration_s": duration_s}
+
+
+def _render_motivation(runner, duration_s, seed):
+    from repro.experiments.motivation import run_motivation
+
+    results = run_motivation(seed=seed, runner=runner, **_duration_kwargs(duration_s))
+    rows = {
+        name: [res.throughput_mbps, 100.0 * res.reordering_ratio]
+        for name, res in results.items()
+    }
+    return format_table("Section II motivation", ["Mb/s", "reorder %"], rows)
+
+
+def _render_longlived(bit_error_rate):
+    def render(runner, duration_s, seed):
+        from repro.experiments.longlived import run_longlived_panel
+
+        blocks = []
+        for route_set in ("ROUTE0", "ROUTE1", "ROUTE2"):
+            panel = run_longlived_panel(
+                route_set,
+                bit_error_rate,
+                seed=seed,
+                runner=runner,
+                **_duration_kwargs(duration_s),
+            )
+            blocks.append(
+                render_panel(
+                    f"{route_set} (BER {bit_error_rate:g}) — total Mb/s vs active flows",
+                    panel.throughput_mbps,
+                    [1, 2, 3],
+                )
+            )
+        return "\n\n".join(blocks)
+
+    return render
+
+
+def _render_regular_collisions(runner, duration_s, seed):
+    from repro.experiments.collisions import run_regular_collisions
+
+    result = run_regular_collisions(seed=seed, runner=runner, **_duration_kwargs(duration_s))
+    columns = sorted(next(iter(result.throughput_mbps.values())))
+    return render_panel("Fig. 6(a) — total Mb/s vs parallel flows", result.throughput_mbps, columns)
+
+
+def _render_hidden_collisions(runner, duration_s, seed):
+    from repro.experiments.collisions import run_hidden_collisions
+
+    result = run_hidden_collisions(seed=seed, runner=runner, **_duration_kwargs(duration_s))
+    columns = sorted(next(iter(result.throughput_mbps.values())))
+    return render_panel("Fig. 6(b) — flow-1 Mb/s vs hidden flows", result.throughput_mbps, columns)
+
+
+def _render_hops(cross_traffic):
+    def render(runner, duration_s, seed):
+        from repro.experiments.hops import run_hops
+
+        result = run_hops(
+            cross_traffic=cross_traffic,
+            seed=seed,
+            runner=runner,
+            **_duration_kwargs(duration_s),
+        )
+        columns = sorted(next(iter(result.throughput_mbps.values())))
+        suffix = "with cross traffic" if cross_traffic else "no cross traffic"
+        return render_panel(
+            f"Fig. 7 — flow-1 Mb/s vs hops ({suffix})", result.throughput_mbps, columns
+        )
+
+    return render
+
+
+def _render_web(runner, duration_s, seed):
+    from repro.experiments.web import run_web_traffic
+
+    result = run_web_traffic(seed=seed, runner=runner, **_duration_kwargs(duration_s))
+    rows = {
+        label: [result.total_mbps[label], float(result.transfers_completed[label])]
+        for label in result.total_mbps
+    }
+    return format_table("Fig. 8 — web traffic", ["Mb/s", "segments"], rows)
+
+
+def _render_table3(runner, duration_s, seed):
+    from repro.experiments.voip import run_table3
+
+    results = run_table3(seed=seed, runner=runner, **_duration_kwargs(duration_s))
+    blocks = []
+    for ber, result in sorted(results.items()):
+        columns = sorted(next(iter(result.mos.values())))
+        blocks.append(
+            render_panel(f"Table III — mean MoS (BER {ber:g})", result.mos, columns)
+        )
+    return "\n\n".join(blocks)
+
+
+def _render_wigle(runner, duration_s, seed):
+    from repro.experiments.wigle import run_wigle
+
+    result = run_wigle(seed=seed, runner=runner, **_duration_kwargs(duration_s))
+    columns = list(next(iter(result.throughput_mbps.values())))
+    return render_panel("Fig. 10 — Wigle per-pair Mb/s", result.throughput_mbps, columns)
+
+
+def _render_roofnet(runner, duration_s, seed):
+    from repro.experiments.roofnet import run_roofnet
+
+    result = run_roofnet(seed=seed, runner=runner, **_duration_kwargs(duration_s))
+    columns = list(next(iter(result.throughput_mbps.values())))
+    return render_panel("Fig. 12 — Roofnet per-pair Mb/s", result.throughput_mbps, columns)
+
+
+def _render_aggregation(runner, duration_s, seed):
+    from repro.experiments.ablation import run_aggregation_ablation
+
+    result = run_aggregation_ablation(seed=seed, runner=runner, **_duration_kwargs(duration_s))
+    rows = {"R": [result.throughput_mbps[level] for level in sorted(result.throughput_mbps)]}
+    return format_table(
+        "Ablation — Mb/s vs max aggregation",
+        [str(level) for level in sorted(result.throughput_mbps)],
+        rows,
+    )
+
+
+def _render_forwarders(runner, duration_s, seed):
+    from repro.experiments.ablation import run_forwarder_ablation
+
+    result = run_forwarder_ablation(seed=seed, runner=runner, **_duration_kwargs(duration_s))
+    rows = {"R16": [result.throughput_mbps[count] for count in sorted(result.throughput_mbps)]}
+    return format_table(
+        "Ablation — Mb/s vs max forwarders",
+        [str(count) for count in sorted(result.throughput_mbps)],
+        rows,
+    )
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    exp.name: exp
+    for exp in [
+        Experiment("motivation", "Section II: SPR vs preExOR vs MCExOR", _render_motivation),
+        Experiment("fig3", "Long-lived TCP, BER 1e-6, ROUTE0/1/2", _render_longlived(1e-6)),
+        Experiment("fig4", "Long-lived TCP, BER 1e-5, ROUTE0/1/2", _render_longlived(1e-5)),
+        Experiment("fig6a", "Regular collisions (parallel flows)", _render_regular_collisions),
+        Experiment("fig6b", "Hidden collisions (hidden UDP load)", _render_hidden_collisions),
+        Experiment("fig7a", "2-7 hop line, no cross traffic", _render_hops(False)),
+        Experiment("fig7b", "2-7 hop line, with cross traffic", _render_hops(True)),
+        Experiment("fig8", "Short web transfers", _render_web),
+        Experiment("table3", "VoIP MoS, both BER points", _render_table3),
+        Experiment("fig10", "Wigle topology per-pair throughput", _render_wigle),
+        Experiment("fig12", "Roofnet topology per-pair throughput", _render_roofnet),
+        Experiment("ablation-aggregation", "RIPPLE max-aggregation sweep", _render_aggregation),
+        Experiment("ablation-forwarders", "RIPPLE forwarder-cap sweep", _render_forwarders),
+    ]
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run the paper's figures/tables through the parallel sweep runner.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list runnable experiments")
+    run = sub.add_parser("run", help="run one or more experiments by name")
+    run.add_argument(
+        "names",
+        nargs="+",
+        metavar="NAME",
+        help="experiment names from 'list', or 'all'",
+    )
+    run.add_argument("--jobs", type=int, default=1, help="worker processes (default 1; 0 = one per CPU)")
+    run.add_argument(
+        "--seeds",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run each experiment with seeds 1..N (default 1)",
+    )
+    run.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-scenario simulated duration (default: each experiment's own)",
+    )
+    run.add_argument("--no-cache", action="store_true", help="always simulate, never read/write the cache")
+    run.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="cache root (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        width = max(len(name) for name in EXPERIMENTS)
+        for name, exp in EXPERIMENTS.items():
+            print(f"{name:<{width}}  {exp.description}")
+        return 0
+
+    names = list(EXPERIMENTS) if "all" in args.names else args.names
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    runner = SweepRunner(jobs=args.jobs, cache=cache)
+    for name in names:
+        exp = EXPERIMENTS[name]
+        for seed in range(1, args.seeds + 1):
+            header = f"=== {name} (seed {seed}) ==="
+            print(header)
+            print(exp.render(runner, args.duration, seed))
+            print()
+    if cache is not None:
+        total = cache.hits + cache.misses
+        print(f"cache: {cache.hits}/{total} hits ({cache.misses} simulated) in {cache.root}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,9 +15,10 @@ Two sweeps:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.runner import ScenarioConfig, run_scenario
+from repro.experiments.parallel import SweepRunner
+from repro.experiments.runner import ScenarioConfig
 from repro.topology.standard import fig1_topology, line_topology
 
 
@@ -37,17 +38,16 @@ class ForwarderAblation:
     throughput_mbps: Dict[int, float] = field(default_factory=dict)
 
 
-def run_aggregation_ablation(
+def aggregation_ablation_grid(
     levels: Sequence[int] = (1, 2, 4, 8, 16),
     bit_error_rate: float = 1e-6,
     duration_s: float = 1.0,
     seed: int = 1,
-) -> AggregationAblation:
-    """Sweep RIPPLE's maximum aggregation on the Fig. 1 / ROUTE0 scenario."""
+) -> List[ScenarioConfig]:
+    """The declarative config grid: one RIPPLE run per aggregation level."""
     topology = fig1_topology()
-    result = AggregationAblation()
-    for level in levels:
-        config = ScenarioConfig(
+    return [
+        ScenarioConfig(
             topology=topology,
             scheme_label="R16",
             route_set="ROUTE0",
@@ -57,23 +57,37 @@ def run_aggregation_ablation(
             seed=seed,
             max_aggregation=level,
         )
-        outcome = run_scenario(config)
+        for level in levels
+    ]
+
+
+def run_aggregation_ablation(
+    levels: Sequence[int] = (1, 2, 4, 8, 16),
+    bit_error_rate: float = 1e-6,
+    duration_s: float = 1.0,
+    seed: int = 1,
+    runner: Optional[SweepRunner] = None,
+) -> AggregationAblation:
+    """Sweep RIPPLE's maximum aggregation on the Fig. 1 / ROUTE0 scenario."""
+    configs = aggregation_ablation_grid(levels, bit_error_rate, duration_s, seed)
+    outcomes = (runner or SweepRunner()).run(configs)
+    result = AggregationAblation()
+    for level, outcome in zip(levels, outcomes):
         result.throughput_mbps[level] = outcome.total_throughput_mbps
     return result
 
 
-def run_forwarder_ablation(
+def forwarder_ablation_grid(
     forwarder_counts: Sequence[int] = (1, 2, 3, 5, 7),
     n_hops: int = 7,
     bit_error_rate: float = 1e-6,
     duration_s: float = 1.0,
     seed: int = 1,
-) -> ForwarderAblation:
-    """Sweep the forwarder-list cap on a long line (Section III-B4 / Fig. 7 setting)."""
+) -> List[ScenarioConfig]:
+    """The declarative config grid: one RIPPLE run per forwarder-list cap."""
     topology = line_topology(n_hops)
-    result = ForwarderAblation()
-    for count in forwarder_counts:
-        config = ScenarioConfig(
+    return [
+        ScenarioConfig(
             topology=topology,
             scheme_label="R16",
             route_set="ROUTE0",
@@ -82,6 +96,22 @@ def run_forwarder_ablation(
             seed=seed,
             max_forwarders=count,
         )
-        outcome = run_scenario(config)
+        for count in forwarder_counts
+    ]
+
+
+def run_forwarder_ablation(
+    forwarder_counts: Sequence[int] = (1, 2, 3, 5, 7),
+    n_hops: int = 7,
+    bit_error_rate: float = 1e-6,
+    duration_s: float = 1.0,
+    seed: int = 1,
+    runner: Optional[SweepRunner] = None,
+) -> ForwarderAblation:
+    """Sweep the forwarder-list cap on a long line (Section III-B4 / Fig. 7 setting)."""
+    configs = forwarder_ablation_grid(forwarder_counts, n_hops, bit_error_rate, duration_s, seed)
+    outcomes = (runner or SweepRunner()).run(configs)
+    result = ForwarderAblation()
+    for count, outcome in zip(forwarder_counts, outcomes):
         result.throughput_mbps[count] = outcome.flow_throughput(1)
     return result

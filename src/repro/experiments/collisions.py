@@ -15,9 +15,10 @@ longer mTXOPs suffer more from hidden collisions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.runner import ScenarioConfig, run_scenario
+from repro.experiments.parallel import SweepRunner
+from repro.experiments.runner import ScenarioConfig
 from repro.topology.standard import fig5a_topology, fig5b_topology
 
 #: The three schemes Fig. 6 compares.
@@ -40,30 +41,83 @@ class HiddenCollisionResult:
     throughput_mbps: Dict[str, Dict[int, float]] = field(default_factory=dict)
 
 
+def regular_collisions_grid(
+    flow_counts: Sequence[int] = (1, 3, 5, 7, 9),
+    schemes: Sequence[str] = COLLISION_SCHEMES,
+    bit_error_rate: float = 1e-6,
+    duration_s: float = 1.0,
+    seed: int = 1,
+) -> Tuple[List[ScenarioConfig], List[Tuple[str, int]]]:
+    """The declarative config grid for Fig. 6(a).
+
+    Returns ``(configs, keys)`` where each key is the ``(scheme label,
+    flow count)`` cell the same-index config fills.
+    """
+    topologies = {n_flows: fig5a_topology(n_flows=n_flows) for n_flows in flow_counts}
+    configs: List[ScenarioConfig] = []
+    keys: List[Tuple[str, int]] = []
+    for label in schemes:
+        for n_flows in flow_counts:
+            configs.append(
+                ScenarioConfig(
+                    topology=topologies[n_flows],
+                    scheme_label=label,
+                    route_set="ROUTE0",
+                    bit_error_rate=bit_error_rate,
+                    duration_s=duration_s,
+                    seed=seed,
+                )
+            )
+            keys.append((label, n_flows))
+    return configs, keys
+
+
 def run_regular_collisions(
     flow_counts: Sequence[int] = (1, 3, 5, 7, 9),
     schemes: Sequence[str] = COLLISION_SCHEMES,
     bit_error_rate: float = 1e-6,
     duration_s: float = 1.0,
     seed: int = 1,
+    runner: Optional[SweepRunner] = None,
 ) -> RegularCollisionResult:
     """Reproduce Fig. 6(a)."""
+    configs, keys = regular_collisions_grid(flow_counts, schemes, bit_error_rate, duration_s, seed)
+    outcomes = (runner or SweepRunner()).run(configs)
     result = RegularCollisionResult()
-    for label in schemes:
-        result.throughput_mbps[label] = {}
-        for n_flows in flow_counts:
-            topology = fig5a_topology(n_flows=n_flows)
-            config = ScenarioConfig(
-                topology=topology,
-                scheme_label=label,
-                route_set="ROUTE0",
-                bit_error_rate=bit_error_rate,
-                duration_s=duration_s,
-                seed=seed,
-            )
-            outcome = run_scenario(config)
-            result.throughput_mbps[label][n_flows] = outcome.total_throughput_mbps
+    for (label, n_flows), outcome in zip(keys, outcomes):
+        result.throughput_mbps.setdefault(label, {})[n_flows] = outcome.total_throughput_mbps
     return result
+
+
+def hidden_collisions_grid(
+    hidden_counts: Sequence[int] = (0, 1, 3, 5, 7, 9),
+    schemes: Sequence[str] = COLLISION_SCHEMES,
+    bit_error_rate: float = 1e-6,
+    duration_s: float = 1.0,
+    seed: int = 1,
+) -> Tuple[List[ScenarioConfig], List[Tuple[str, int]]]:
+    """The declarative config grid for Fig. 6(b).
+
+    Returns ``(configs, keys)`` where each key is the ``(scheme label,
+    hidden-flow count)`` cell the same-index config fills.
+    """
+    topologies = {n_hidden: fig5b_topology(n_hidden=n_hidden) for n_hidden in hidden_counts}
+    configs: List[ScenarioConfig] = []
+    keys: List[Tuple[str, int]] = []
+    for label in schemes:
+        for n_hidden in hidden_counts:
+            configs.append(
+                ScenarioConfig(
+                    topology=topologies[n_hidden],
+                    scheme_label=label,
+                    route_set="ROUTE0",
+                    bit_error_rate=bit_error_rate,
+                    duration_s=duration_s,
+                    seed=seed,
+                )
+            )
+            keys.append((label, n_hidden))
+    return configs, keys
 
 
 def run_hidden_collisions(
@@ -72,21 +126,12 @@ def run_hidden_collisions(
     bit_error_rate: float = 1e-6,
     duration_s: float = 1.0,
     seed: int = 1,
+    runner: Optional[SweepRunner] = None,
 ) -> HiddenCollisionResult:
     """Reproduce Fig. 6(b)."""
+    configs, keys = hidden_collisions_grid(hidden_counts, schemes, bit_error_rate, duration_s, seed)
+    outcomes = (runner or SweepRunner()).run(configs)
     result = HiddenCollisionResult()
-    for label in schemes:
-        result.throughput_mbps[label] = {}
-        for n_hidden in hidden_counts:
-            topology = fig5b_topology(n_hidden=n_hidden)
-            config = ScenarioConfig(
-                topology=topology,
-                scheme_label=label,
-                route_set="ROUTE0",
-                bit_error_rate=bit_error_rate,
-                duration_s=duration_s,
-                seed=seed,
-            )
-            outcome = run_scenario(config)
-            result.throughput_mbps[label][n_hidden] = outcome.flow_throughput(1)
+    for (label, n_hidden), outcome in zip(keys, outcomes):
+        result.throughput_mbps.setdefault(label, {})[n_hidden] = outcome.flow_throughput(1)
     return result

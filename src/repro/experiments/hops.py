@@ -11,9 +11,10 @@ performance "depends entirely on the forwarders' help".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.runner import ScenarioConfig, run_scenario
+from repro.experiments.parallel import SweepRunner
+from repro.experiments.runner import ScenarioConfig
 from repro.topology.standard import line_topology
 
 #: Schemes plotted in Fig. 7.
@@ -29,6 +30,40 @@ class HopsResult:
     throughput_mbps: Dict[str, Dict[int, float]] = field(default_factory=dict)
 
 
+def hops_grid(
+    hop_counts: Sequence[int] = (2, 3, 4, 5, 6, 7),
+    cross_traffic: bool = False,
+    schemes: Sequence[str] = HOPS_SCHEMES,
+    bit_error_rate: float = 1e-6,
+    duration_s: float = 1.0,
+    seed: int = 1,
+) -> Tuple[List[ScenarioConfig], List[Tuple[str, int]]]:
+    """The declarative config grid for Fig. 7.
+
+    Returns ``(configs, keys)`` where each key is the ``(scheme label,
+    hop count)`` cell the same-index config fills.
+    """
+    topologies = {
+        hops: line_topology(hops, cross_traffic=cross_traffic) for hops in hop_counts
+    }
+    configs: List[ScenarioConfig] = []
+    keys: List[Tuple[str, int]] = []
+    for label in schemes:
+        for hops in hop_counts:
+            configs.append(
+                ScenarioConfig(
+                    topology=topologies[hops],
+                    scheme_label=label,
+                    route_set="ROUTE0",
+                    bit_error_rate=bit_error_rate,
+                    duration_s=duration_s,
+                    seed=seed,
+                )
+            )
+            keys.append((label, hops))
+    return configs, keys
+
+
 def run_hops(
     hop_counts: Sequence[int] = (2, 3, 4, 5, 6, 7),
     cross_traffic: bool = False,
@@ -36,21 +71,12 @@ def run_hops(
     bit_error_rate: float = 1e-6,
     duration_s: float = 1.0,
     seed: int = 1,
+    runner: Optional[SweepRunner] = None,
 ) -> HopsResult:
     """Reproduce Fig. 7(a) (``cross_traffic=False``) or Fig. 7(b) (``True``)."""
+    configs, keys = hops_grid(hop_counts, cross_traffic, schemes, bit_error_rate, duration_s, seed)
+    outcomes = (runner or SweepRunner()).run(configs)
     result = HopsResult(cross_traffic=cross_traffic)
-    for label in schemes:
-        result.throughput_mbps[label] = {}
-        for hops in hop_counts:
-            topology = line_topology(hops, cross_traffic=cross_traffic)
-            config = ScenarioConfig(
-                topology=topology,
-                scheme_label=label,
-                route_set="ROUTE0",
-                bit_error_rate=bit_error_rate,
-                duration_s=duration_s,
-                seed=seed,
-            )
-            outcome = run_scenario(config)
-            result.throughput_mbps[label][hops] = outcome.flow_throughput(1)
+    for (label, hops), outcome in zip(keys, outcomes):
+        result.throughput_mbps.setdefault(label, {})[hops] = outcome.flow_throughput(1)
     return result

@@ -9,12 +9,12 @@ S / D / R1 / A / R16.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.experiments.parallel import SweepRunner
 from repro.experiments.runner import (
     DEFAULT_SCHEME_LABELS,
     ScenarioConfig,
-    run_scenario,
 )
 from repro.topology.standard import fig1_topology
 
@@ -34,6 +34,39 @@ class LongLivedPanel:
     per_flow_mbps: Dict[str, Dict[int, List[float]]] = field(default_factory=dict)
 
 
+def longlived_panel_grid(
+    route_set: str = "ROUTE0",
+    bit_error_rate: float = 1e-6,
+    scheme_labels: Sequence[str] = DEFAULT_SCHEME_LABELS,
+    flow_sets: Sequence[Tuple[int, ...]] = FLOW_SETS,
+    duration_s: float = 1.0,
+    seed: int = 1,
+) -> Tuple[List[ScenarioConfig], List[Tuple[str, int]]]:
+    """The declarative config grid for one panel.
+
+    Returns ``(configs, keys)`` where each key is the ``(scheme label,
+    flow count)`` cell the same-index config fills.
+    """
+    topology = fig1_topology()
+    configs: List[ScenarioConfig] = []
+    keys: List[Tuple[str, int]] = []
+    for label in scheme_labels:
+        for flows in flow_sets:
+            configs.append(
+                ScenarioConfig(
+                    topology=topology,
+                    scheme_label=label,
+                    route_set=route_set,
+                    active_flows=list(flows),
+                    bit_error_rate=bit_error_rate,
+                    duration_s=duration_s,
+                    seed=seed,
+                )
+            )
+            keys.append((label, len(flows)))
+    return configs, keys
+
+
 def run_longlived_panel(
     route_set: str = "ROUTE0",
     bit_error_rate: float = 1e-6,
@@ -41,42 +74,41 @@ def run_longlived_panel(
     flow_sets: Sequence[Tuple[int, ...]] = FLOW_SETS,
     duration_s: float = 1.0,
     seed: int = 1,
+    runner: Optional[SweepRunner] = None,
 ) -> LongLivedPanel:
     """Reproduce one panel of Fig. 3 (BER 1e-6) or Fig. 4 (BER 1e-5)."""
-    topology = fig1_topology()
+    configs, keys = longlived_panel_grid(
+        route_set, bit_error_rate, scheme_labels, flow_sets, duration_s, seed
+    )
+    results = (runner or SweepRunner()).run(configs)
     panel = LongLivedPanel(route_set=route_set, bit_error_rate=bit_error_rate)
-    for label in scheme_labels:
-        panel.throughput_mbps[label] = {}
-        panel.per_flow_mbps[label] = {}
-        for flows in flow_sets:
-            config = ScenarioConfig(
-                topology=topology,
-                scheme_label=label,
-                route_set=route_set,
-                active_flows=list(flows),
-                bit_error_rate=bit_error_rate,
-                duration_s=duration_s,
-                seed=seed,
-            )
-            result = run_scenario(config)
-            panel.throughput_mbps[label][len(flows)] = result.total_throughput_mbps
-            panel.per_flow_mbps[label][len(flows)] = [
-                flow.throughput_mbps for flow in result.flows
-            ]
+    for (label, n_flows), result in zip(keys, results):
+        panel.throughput_mbps.setdefault(label, {})[n_flows] = result.total_throughput_mbps
+        panel.per_flow_mbps.setdefault(label, {})[n_flows] = [
+            flow.throughput_mbps for flow in result.flows
+        ]
     return panel
 
 
-def run_fig3(duration_s: float = 1.0, seed: int = 1) -> Dict[str, LongLivedPanel]:
+def run_fig3(
+    duration_s: float = 1.0, seed: int = 1, runner: Optional[SweepRunner] = None
+) -> Dict[str, LongLivedPanel]:
     """All three panels of Fig. 3 (clear channel, BER 1e-6)."""
     return {
-        route_set: run_longlived_panel(route_set, 1e-6, duration_s=duration_s, seed=seed)
+        route_set: run_longlived_panel(
+            route_set, 1e-6, duration_s=duration_s, seed=seed, runner=runner
+        )
         for route_set in ("ROUTE0", "ROUTE1", "ROUTE2")
     }
 
 
-def run_fig4(duration_s: float = 1.0, seed: int = 1) -> Dict[str, LongLivedPanel]:
+def run_fig4(
+    duration_s: float = 1.0, seed: int = 1, runner: Optional[SweepRunner] = None
+) -> Dict[str, LongLivedPanel]:
     """All three panels of Fig. 4 (noisy channel, BER 1e-5)."""
     return {
-        route_set: run_longlived_panel(route_set, 1e-5, duration_s=duration_s, seed=seed)
+        route_set: run_longlived_panel(
+            route_set, 1e-5, duration_s=duration_s, seed=seed, runner=runner
+        )
         for route_set in ("ROUTE0", "ROUTE1", "ROUTE2")
     }

@@ -17,10 +17,14 @@ path routing selects once the direct link is excluded by its quality.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, List, Optional
 
-from repro.experiments.runner import ScenarioConfig, ScenarioResult, run_scenario
+from repro.experiments.parallel import SweepRunner
+from repro.experiments.runner import ScenarioConfig
 from repro.topology.standard import fig1_topology
+
+#: Scheme labels compared in Section II, in presentation order.
+MOTIVATION_SCHEMES: tuple[str, ...] = ("D", "preExOR", "MCExOR")
 
 
 @dataclass
@@ -34,14 +38,13 @@ class MotivationResult:
     reordered_segments: int
 
 
-def run_motivation(
+def motivation_grid(
     duration_s: float = 1.0, bit_error_rate: float = 1e-6, seed: int = 1
-) -> Dict[str, MotivationResult]:
-    """Run the Section II comparison (single flow 0 -> 3 on the Fig. 1 topology)."""
+) -> List[ScenarioConfig]:
+    """The declarative config grid: one run per Section II scheme."""
     topology = fig1_topology()
-    results: Dict[str, MotivationResult] = {}
-    for label in ("D", "preExOR", "MCExOR"):
-        config = ScenarioConfig(
+    return [
+        ScenarioConfig(
             topology=topology,
             scheme_label=label,
             route_set="ROUTE0",
@@ -50,7 +53,21 @@ def run_motivation(
             duration_s=duration_s,
             seed=seed,
         )
-        outcome: ScenarioResult = run_scenario(config)
+        for label in MOTIVATION_SCHEMES
+    ]
+
+
+def run_motivation(
+    duration_s: float = 1.0,
+    bit_error_rate: float = 1e-6,
+    seed: int = 1,
+    runner: Optional[SweepRunner] = None,
+) -> Dict[str, MotivationResult]:
+    """Run the Section II comparison (single flow 0 -> 3 on the Fig. 1 topology)."""
+    configs = motivation_grid(duration_s, bit_error_rate, seed)
+    outcomes = (runner or SweepRunner()).run(configs)
+    results: Dict[str, MotivationResult] = {}
+    for label, outcome in zip(MOTIVATION_SCHEMES, outcomes):
         flow = outcome.flows[0]
         name = {"D": "SPR", "preExOR": "preExOR", "MCExOR": "MCExOR"}[label]
         results[name] = MotivationResult(

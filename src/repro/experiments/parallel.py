@@ -1,0 +1,211 @@
+"""Parallel sweep execution with content-hashed result caching.
+
+Every figure and table of the paper is an embarrassingly parallel sweep:
+the same :func:`~repro.experiments.runner.run_scenario` evaluated over a
+grid of scheme labels, seeds, BER points and topology parameters, each
+point fully determined by its :class:`~repro.experiments.runner.ScenarioConfig`.
+This module is the execution subsystem the experiment modules route that
+work through:
+
+* :func:`expand_grid` — turn a base config plus per-field value lists into
+  the Cartesian product of configs (the declarative grid).
+* :class:`SweepRunner` — evaluate a list of configs, optionally fanned out
+  over ``multiprocessing`` workers.  Results come back in input order and
+  are bit-identical to a serial run because every scenario is seeded and
+  self-contained (both the serial and the parallel path round-trip results
+  through the same ``to_dict``/``from_dict`` layer, so cached, local and
+  worker-produced results are interchangeable).
+* :class:`ResultCache` — an on-disk JSON cache keyed by a stable SHA-256
+  digest of the config (:func:`config_digest`), making re-runs incremental:
+  only configs never seen before are simulated.
+
+Cache layout::
+
+    <cache root>/                e.g. .repro-cache/ or $REPRO_CACHE_DIR
+      ab/                        first two hex digits of the digest
+        ab3f...e1.json           ScenarioResult.to_dict() of that config
+
+The cache is safe to delete at any time and safe to share between
+processes: entries are written atomically (tmp file + rename) and a
+corrupt/partial entry is treated as a miss.
+
+Typical use (see also ``python -m repro.experiments`` and
+``examples/sweep_parallel.py``)::
+
+    from repro.experiments.parallel import ResultCache, SweepRunner, expand_grid
+
+    grid = expand_grid(base, scheme_label=["D", "A", "R16"], seed=[1, 2, 3])
+    runner = SweepRunner(jobs=4, cache=ResultCache())
+    results = runner.run(grid)      # List[ScenarioResult], input order
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import multiprocessing
+import os
+import tempfile
+from itertools import product
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.runner import ScenarioConfig, ScenarioResult, run_scenario
+
+#: Default cache root; override with the ``REPRO_CACHE_DIR`` environment variable.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def config_digest(config: ScenarioConfig) -> str:
+    """Stable SHA-256 content hash of a scenario config.
+
+    Computed over the canonical sorted-key JSON encoding of
+    ``config.to_dict()``; two configs that would produce the same simulation
+    share a digest, and any change to any field (including the topology's
+    positions, flows or routes) changes it.
+    """
+    payload = json.dumps(config.to_dict(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Content-addressed on-disk store of :class:`ScenarioResult` dicts."""
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, digest: str) -> Path:
+        """Location of the cache entry for ``digest`` (two-level fan-out)."""
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def load(self, config: ScenarioConfig) -> Optional[ScenarioResult]:
+        """Return the cached result for ``config``, or None on a miss."""
+        path = self.path_for(config_digest(config))
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            result = ScenarioResult.from_dict(data)
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, config: ScenarioConfig, result: ScenarioResult) -> None:
+        """Persist ``result`` under ``config``'s digest (atomic write)."""
+        path = self.path_for(config_digest(config))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(result.to_dict(), sort_keys=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+
+def expand_grid(base: ScenarioConfig, **axes: Sequence) -> List[ScenarioConfig]:
+    """Cartesian product of ``base`` with per-field value lists.
+
+    Each keyword names a :class:`ScenarioConfig` field and supplies the
+    values to sweep; the product is enumerated in a deterministic order
+    (last axis fastest, like nested for loops)::
+
+        expand_grid(base, scheme_label=["D", "R16"], seed=[1, 2, 3])
+
+    yields six configs ordered D/1, D/2, D/3, R16/1, R16/2, R16/3.
+    """
+    field_names = {f.name for f in dataclasses.fields(ScenarioConfig)}
+    unknown = set(axes) - field_names
+    if unknown:
+        raise TypeError(f"unknown ScenarioConfig fields: {sorted(unknown)}")
+    names = list(axes)
+    configs: List[ScenarioConfig] = []
+    for combo in product(*(axes[name] for name in names)):
+        configs.append(dataclasses.replace(base, **dict(zip(names, combo))))
+    return configs
+
+
+def _run_config_to_dict(config: ScenarioConfig) -> Dict[str, object]:
+    """Worker entry point: run one scenario, return its serialized result.
+
+    Module-level so it is picklable under every multiprocessing start method.
+    Returning the dict (rather than the object graph) keeps the inter-process
+    payload identical to what the cache stores, which is what guarantees that
+    cached and fresh results are interchangeable.
+    """
+    return run_scenario(config).to_dict()
+
+
+class SweepRunner:
+    """Evaluate a list of scenario configs, in parallel and incrementally.
+
+    Parameters
+    ----------
+    jobs:
+        Number of worker processes; ``1`` (the default) runs everything in
+        the current process, ``0``/negative means one worker per CPU.
+    cache:
+        A :class:`ResultCache` for incremental re-runs, or None (default) to
+        always simulate.  Hit/miss counts accumulate on the cache object.
+
+    Results are returned in input order and are independent of ``jobs``:
+    every scenario carries its own seed and builds its own simulator, so a
+    4-way parallel run is bit-identical to a serial one.
+    """
+
+    def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None) -> None:
+        if jobs <= 0:
+            jobs = os.cpu_count() or 1
+        self.jobs = int(jobs)
+        self.cache = cache
+
+    def run(self, configs: Sequence[ScenarioConfig]) -> List[ScenarioResult]:
+        """Run every config (or fetch it from the cache); preserves order."""
+        configs = list(configs)
+        results: List[Optional[ScenarioResult]] = [None] * len(configs)
+        pending: List[int] = []
+        for index, config in enumerate(configs):
+            cached = self.cache.load(config) if self.cache is not None else None
+            if cached is not None:
+                results[index] = cached
+            else:
+                pending.append(index)
+        if pending:
+            fresh = self._execute([configs[index] for index in pending])
+            for index, result_dict in zip(pending, fresh):
+                result = ScenarioResult.from_dict(result_dict)
+                results[index] = result
+                if self.cache is not None:
+                    self.cache.store(configs[index], result)
+        return results  # type: ignore[return-value]  # every slot is filled
+
+    def run_one(self, config: ScenarioConfig) -> ScenarioResult:
+        """Convenience wrapper for a single config."""
+        return self.run([config])[0]
+
+    # ------------------------------------------------------------------
+    # Execution backends
+    # ------------------------------------------------------------------
+    def _execute(self, configs: List[ScenarioConfig]) -> List[Dict[str, object]]:
+        if self.jobs > 1 and len(configs) > 1:
+            return self._execute_parallel(configs)
+        return [_run_config_to_dict(config) for config in configs]
+
+    def _execute_parallel(self, configs: List[ScenarioConfig]) -> List[Dict[str, object]]:
+        # fork is cheapest where available (Linux); spawn works everywhere
+        # else because configs and the worker function are picklable.
+        method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        context = multiprocessing.get_context(method)
+        with context.Pool(processes=min(self.jobs, len(configs))) as pool:
+            return pool.map(_run_config_to_dict, configs)

@@ -9,9 +9,10 @@ with and without nearby hidden terminals, under DCF, AFR and RIPPLE.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.runner import ScenarioConfig, run_scenario
+from repro.experiments.parallel import SweepRunner
+from repro.experiments.runner import ScenarioConfig
 from repro.phy.params import HIGH_RATE_PHY, LOW_RATE_PHY, PhyParams
 from repro.topology.roofnet import roofnet_scenario
 
@@ -35,6 +36,51 @@ def _phy_for_rate(data_rate_mbps: float) -> PhyParams:
     return LOW_RATE_PHY
 
 
+def roofnet_grid(
+    data_rate_mbps: float = 6.0,
+    hidden_terminals: bool = False,
+    schemes: Sequence[str] = ROOFNET_SCHEMES,
+    hop_counts: Tuple[int, ...] = (3, 3, 4, 4, 5, 5),
+    bit_error_rate: float = 1e-6,
+    duration_s: float = 1.0,
+    seed: int = 7,
+    max_flows: int | None = None,
+) -> Tuple[List[ScenarioConfig], List[Tuple[str, int, str]]]:
+    """The declarative config grid for one Fig. 12 panel.
+
+    Returns ``(configs, keys)`` where each key is the ``(scheme label,
+    measured flow id, pair label)`` the same-index config measures.
+    """
+    topology = roofnet_scenario(hop_counts=hop_counts, include_hidden=hidden_terminals, seed=seed)
+    measured = [flow for flow in topology.flows if flow.kind == "tcp"]
+    if max_flows is not None:
+        measured = measured[:max_flows]
+    hidden = {flow.flow_id: flow for flow in topology.flows if flow.kind != "tcp"}
+    configs: List[ScenarioConfig] = []
+    keys: List[Tuple[str, int, str]] = []
+    for label in schemes:
+        for index, flow in enumerate(measured):
+            active = [flow.flow_id]
+            if hidden_terminals:
+                hidden_id = 200 + index
+                if hidden_id in hidden:
+                    active.append(hidden_id)
+            configs.append(
+                ScenarioConfig(
+                    topology=topology,
+                    scheme_label=label,
+                    route_set="ROUTE0",
+                    active_flows=active,
+                    bit_error_rate=bit_error_rate,
+                    duration_s=duration_s,
+                    seed=seed,
+                    phy=_phy_for_rate(data_rate_mbps),
+                )
+            )
+            keys.append((label, flow.flow_id, flow.label))
+    return configs, keys
+
+
 def run_roofnet(
     data_rate_mbps: float = 6.0,
     hidden_terminals: bool = False,
@@ -44,32 +90,21 @@ def run_roofnet(
     duration_s: float = 1.0,
     seed: int = 7,
     max_flows: int | None = None,
+    runner: Optional[SweepRunner] = None,
 ) -> RoofnetResult:
     """Reproduce one panel of Fig. 12."""
-    topology = roofnet_scenario(hop_counts=hop_counts, include_hidden=hidden_terminals, seed=seed)
-    measured = [flow for flow in topology.flows if flow.kind == "tcp"]
-    if max_flows is not None:
-        measured = measured[:max_flows]
-    hidden = {flow.flow_id: flow for flow in topology.flows if flow.kind != "tcp"}
+    configs, keys = roofnet_grid(
+        data_rate_mbps,
+        hidden_terminals,
+        schemes,
+        hop_counts,
+        bit_error_rate,
+        duration_s,
+        seed,
+        max_flows,
+    )
+    outcomes = (runner or SweepRunner()).run(configs)
     result = RoofnetResult(data_rate_mbps=data_rate_mbps, hidden_terminals=hidden_terminals)
-    for label in schemes:
-        result.throughput_mbps[label] = {}
-        for index, flow in enumerate(measured):
-            active = [flow.flow_id]
-            if hidden_terminals:
-                hidden_id = 200 + index
-                if hidden_id in hidden:
-                    active.append(hidden_id)
-            config = ScenarioConfig(
-                topology=topology,
-                scheme_label=label,
-                route_set="ROUTE0",
-                active_flows=active,
-                bit_error_rate=bit_error_rate,
-                duration_s=duration_s,
-                seed=seed,
-                phy=_phy_for_rate(data_rate_mbps),
-            )
-            outcome = run_scenario(config)
-            result.throughput_mbps[label][flow.label] = outcome.flow_throughput(flow.flow_id)
+    for (label, flow_id, pair_label), outcome in zip(keys, outcomes):
+        result.throughput_mbps.setdefault(label, {})[pair_label] = outcome.flow_throughput(flow_id)
     return result

@@ -22,10 +22,11 @@ label     MAC scheme                 route used
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.metrics.flows import FlowResult, summarize_tcp_flow, summarize_udp_flow, total_throughput_mbps
+from repro.metrics.mos import VoipQuality
 from repro.phy.error_models import BitErrorModel
 from repro.phy.params import PhyParams
 from repro.routing.static import StaticRouting
@@ -71,6 +72,51 @@ class ScenarioConfig:
     max_forwarders: int = 5
     max_aggregation: Optional[int] = None
 
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical JSON-safe representation.
+
+        The sweep cache hashes this dict (sorted-key JSON) to key cached
+        results, so every field that influences the simulation must appear
+        here and the representation must be deterministic.
+        """
+        return {
+            "topology": self.topology.to_dict(),
+            "scheme_label": self.scheme_label,
+            "route_set": self.route_set,
+            "active_flows": None if self.active_flows is None else list(self.active_flows),
+            "bit_error_rate": self.bit_error_rate,
+            "duration_s": self.duration_s,
+            "warmup_s": self.warmup_s,
+            "seed": self.seed,
+            "phy": None if self.phy is None else self.phy.to_dict(),
+            "tcp_window": self.tcp_window,
+            "max_forwarders": self.max_forwarders,
+            "max_aggregation": self.max_aggregation,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ScenarioConfig":
+        from repro.phy.params import PhyParams
+        from repro.topology.spec import TopologySpec
+
+        phy = data.get("phy")
+        active = data.get("active_flows")
+        max_aggregation = data.get("max_aggregation")
+        return cls(
+            topology=TopologySpec.from_dict(data["topology"]),
+            scheme_label=str(data["scheme_label"]),
+            route_set=str(data["route_set"]),
+            active_flows=None if active is None else [int(f) for f in active],
+            bit_error_rate=float(data["bit_error_rate"]),
+            duration_s=float(data["duration_s"]),
+            warmup_s=float(data.get("warmup_s", 0.0)),
+            seed=int(data["seed"]),
+            phy=None if phy is None else PhyParams.from_dict(phy),
+            tcp_window=int(data.get("tcp_window", 64)),
+            max_forwarders=int(data.get("max_forwarders", 5)),
+            max_aggregation=None if max_aggregation is None else int(max_aggregation),
+        )
+
 
 @dataclass
 class ScenarioResult:
@@ -96,6 +142,30 @@ class ScenarioResult:
         received = sum(f.packets_received for f in self.flows if f.kind == "tcp")
         reordered = sum(f.reordered for f in self.flows if f.kind == "tcp")
         return reordered / received if received else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe representation; ``from_dict`` is its exact inverse."""
+        return {
+            "config": self.config.to_dict(),
+            "flows": [flow.to_dict() for flow in self.flows],
+            "voip_quality": {
+                str(flow_id): quality.to_dict()
+                for flow_id, quality in sorted(self.voip_quality.items())
+            },
+            "events_processed": self.events_processed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ScenarioResult":
+        return cls(
+            config=ScenarioConfig.from_dict(data["config"]),
+            flows=[FlowResult.from_dict(flow) for flow in data.get("flows", [])],
+            voip_quality={
+                int(flow_id): VoipQuality.from_dict(quality)
+                for flow_id, quality in data.get("voip_quality", {}).items()
+            },
+            events_processed=int(data.get("events_processed", 0)),
+        )
 
 
 def resolve_scheme(scheme_label: str, default_route_set: str) -> Tuple[str, str]:
@@ -185,7 +255,22 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
             senders[flow.flow_id] = udp_sender
         else:
             raise ValueError(f"unknown flow kind {flow.kind!r}")
-    network.run_seconds(config.warmup_s + config.duration_s)
+    if config.warmup_s > 0:
+        # Let the scenario reach steady state, then zero every flow counter so
+        # the summaries below cover only the measurement window (dividing
+        # since-t=0 byte counts by duration_ns would inflate throughput).
+        network.run_seconds(config.warmup_s)
+        for sink in sinks.values():
+            sink.reset_stats()
+        for receiver in receivers.values():
+            receiver.reset_stats()
+        for sender in senders.values():
+            reset = getattr(sender, "reset_stats", None)
+            if reset is not None:
+                reset()
+        for voip in voip_flows.values():
+            voip.reset_stats()
+    network.run_seconds(config.duration_s)
     result = ScenarioResult(config=config, events_processed=network.sim.processed_events)
     for flow in flows:
         if flow.flow_id in sinks:
@@ -206,11 +291,18 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
 
 
 def sweep_schemes(
-    base_config: ScenarioConfig, scheme_labels: Sequence[str] = DEFAULT_SCHEME_LABELS
+    base_config: ScenarioConfig,
+    scheme_labels: Sequence[str] = DEFAULT_SCHEME_LABELS,
+    runner: Optional["SweepRunner"] = None,
 ) -> Dict[str, ScenarioResult]:
-    """Run the same scenario once per scheme label (the bars of one figure panel)."""
-    results: Dict[str, ScenarioResult] = {}
-    for label in scheme_labels:
-        config = ScenarioConfig(**{**base_config.__dict__, "scheme_label": label})
-        results[label] = run_scenario(config)
-    return results
+    """Run the same scenario once per scheme label (the bars of one figure panel).
+
+    The grid of configs is routed through a
+    :class:`~repro.experiments.parallel.SweepRunner`, so passing ``runner``
+    enables multiprocessing fan-out and result caching.
+    """
+    from repro.experiments.parallel import SweepRunner
+
+    configs = [replace(base_config, scheme_label=label) for label in scheme_labels]
+    results = (runner or SweepRunner()).run(configs)
+    return dict(zip(scheme_labels, results))

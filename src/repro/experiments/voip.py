@@ -10,9 +10,10 @@ and 1e-6, under DCF/ROUTE0, AFR/ROUTE0 and RIPPLE.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.runner import ScenarioConfig, run_scenario
+from repro.experiments.parallel import SweepRunner
+from repro.experiments.runner import ScenarioConfig
 from repro.phy.params import LOW_RATE_PHY
 from repro.topology.spec import FlowSpec, TopologySpec
 from repro.topology.standard import fig1_topology
@@ -52,44 +53,69 @@ class VoipResult:
     loss: Dict[str, Dict[int, float]] = field(default_factory=dict)
 
 
+def voip_grid(
+    bit_error_rate: float = 1e-6,
+    schemes: Sequence[str] = VOIP_SCHEMES,
+    flow_groups: Sequence[int] = VOIP_FLOW_GROUPS,
+    duration_s: float = 2.0,
+    seed: int = 1,
+) -> Tuple[List[ScenarioConfig], List[Tuple[str, int]]]:
+    """The declarative config grid for one BER column group.
+
+    Returns ``(configs, keys)`` where each key is the ``(scheme label,
+    flow count)`` cell the same-index config fills.
+    """
+    topology = voip_topology()
+    configs: List[ScenarioConfig] = []
+    keys: List[Tuple[str, int]] = []
+    for label in schemes:
+        for n_flows in flow_groups:
+            configs.append(
+                ScenarioConfig(
+                    topology=topology,
+                    scheme_label=label,
+                    route_set="ROUTE0",
+                    active_flows=list(range(1, n_flows + 1)),
+                    bit_error_rate=bit_error_rate,
+                    duration_s=duration_s,
+                    seed=seed,
+                    phy=LOW_RATE_PHY,
+                )
+            )
+            keys.append((label, n_flows))
+    return configs, keys
+
+
 def run_voip(
     bit_error_rate: float = 1e-6,
     schemes: Sequence[str] = VOIP_SCHEMES,
     flow_groups: Sequence[int] = VOIP_FLOW_GROUPS,
     duration_s: float = 2.0,
     seed: int = 1,
+    runner: Optional[SweepRunner] = None,
 ) -> VoipResult:
     """Reproduce one BER column group of Table III."""
-    topology = voip_topology()
+    configs, keys = voip_grid(bit_error_rate, schemes, flow_groups, duration_s, seed)
+    outcomes = (runner or SweepRunner()).run(configs)
     result = VoipResult(bit_error_rate=bit_error_rate)
-    for label in schemes:
-        result.mos[label] = {}
-        result.loss[label] = {}
-        for n_flows in flow_groups:
-            config = ScenarioConfig(
-                topology=topology,
-                scheme_label=label,
-                route_set="ROUTE0",
-                active_flows=list(range(1, n_flows + 1)),
-                bit_error_rate=bit_error_rate,
-                duration_s=duration_s,
-                seed=seed,
-                phy=LOW_RATE_PHY,
-            )
-            outcome = run_scenario(config)
-            qualities = list(outcome.voip_quality.values())
-            if qualities:
-                result.mos[label][n_flows] = sum(q.mos for q in qualities) / len(qualities)
-                result.loss[label][n_flows] = sum(q.loss_rate for q in qualities) / len(qualities)
-            else:
-                result.mos[label][n_flows] = 1.0
-                result.loss[label][n_flows] = 1.0
+    for (label, n_flows), outcome in zip(keys, outcomes):
+        qualities = list(outcome.voip_quality.values())
+        if qualities:
+            mos = sum(q.mos for q in qualities) / len(qualities)
+            loss = sum(q.loss_rate for q in qualities) / len(qualities)
+        else:
+            mos = 1.0
+            loss = 1.0
+        result.mos.setdefault(label, {})[n_flows] = mos
+        result.loss.setdefault(label, {})[n_flows] = loss
     return result
 
 
-def run_table3(duration_s: float = 2.0, seed: int = 1) -> Dict[float, VoipResult]:
+def run_table3(
+    duration_s: float = 2.0, seed: int = 1, runner: Optional[SweepRunner] = None
+) -> Dict[float, VoipResult]:
     """Both BER operating points of Table III."""
     return {
-        1e-5: run_voip(1e-5, duration_s=duration_s, seed=seed),
-        1e-6: run_voip(1e-6, duration_s=duration_s, seed=seed),
+        1e-5: run_voip(1e-5, duration_s=duration_s, seed=seed, runner=runner),
+        1e-6: run_voip(1e-6, duration_s=duration_s, seed=seed, runner=runner),
     }

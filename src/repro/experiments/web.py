@@ -9,10 +9,11 @@ all active flows for DCF, AFR and RIPPLE on ROUTE0.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.runner import ScenarioConfig, run_scenario
+from repro.experiments.parallel import SweepRunner
+from repro.experiments.runner import ScenarioConfig
 from repro.topology.spec import FlowSpec, TopologySpec
 from repro.topology.standard import fig1_topology
 
@@ -46,18 +47,17 @@ class WebResult:
     transfers_completed: Dict[str, int] = field(default_factory=dict)
 
 
-def run_web_traffic(
+def web_grid(
     schemes: Sequence[str] = WEB_SCHEMES,
     flows_per_pair: int = WEB_FLOWS_PER_PAIR,
     bit_error_rate: float = 1e-6,
     duration_s: float = 2.0,
     seed: int = 1,
-) -> WebResult:
-    """Reproduce Fig. 8 (sum throughput of the short-transfer mix)."""
+) -> List[ScenarioConfig]:
+    """The declarative config grid for Fig. 8: one run per scheme."""
     topology = web_topology(flows_per_pair)
-    result = WebResult()
-    for label in schemes:
-        config = ScenarioConfig(
+    return [
+        ScenarioConfig(
             topology=topology,
             scheme_label=label,
             route_set="ROUTE0",
@@ -65,7 +65,23 @@ def run_web_traffic(
             duration_s=duration_s,
             seed=seed,
         )
-        outcome = run_scenario(config)
+        for label in schemes
+    ]
+
+
+def run_web_traffic(
+    schemes: Sequence[str] = WEB_SCHEMES,
+    flows_per_pair: int = WEB_FLOWS_PER_PAIR,
+    bit_error_rate: float = 1e-6,
+    duration_s: float = 2.0,
+    seed: int = 1,
+    runner: Optional[SweepRunner] = None,
+) -> WebResult:
+    """Reproduce Fig. 8 (sum throughput of the short-transfer mix)."""
+    configs = web_grid(schemes, flows_per_pair, bit_error_rate, duration_s, seed)
+    outcomes = (runner or SweepRunner()).run(configs)
+    result = WebResult()
+    for label, outcome in zip(schemes, outcomes):
         result.total_mbps[label] = outcome.total_throughput_mbps
         result.transfers_completed[label] = sum(
             flow.packets_received for flow in outcome.flows

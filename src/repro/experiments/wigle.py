@@ -9,9 +9,10 @@ same predetermined relay path).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.runner import ScenarioConfig, run_scenario
+from repro.experiments.parallel import SweepRunner
+from repro.experiments.runner import ScenarioConfig
 from repro.phy.params import HIGH_RATE_PHY, LOW_RATE_PHY, PhyParams
 from repro.topology.wigle import wigle_topology
 
@@ -35,6 +36,46 @@ def _phy_for_rate(data_rate_mbps: float) -> PhyParams:
     return LOW_RATE_PHY
 
 
+def wigle_grid(
+    data_rate_mbps: float = 6.0,
+    hidden_traffic: bool = False,
+    schemes: Sequence[str] = WIGLE_SCHEMES,
+    bit_error_rate: float = 1e-6,
+    duration_s: float = 1.0,
+    seed: int = 1,
+    max_flows: int | None = None,
+) -> Tuple[List[ScenarioConfig], List[Tuple[str, int, str]]]:
+    """The declarative config grid for one Fig. 10 panel.
+
+    Returns ``(configs, keys)`` where each key is the ``(scheme label,
+    measured flow id, flow label)`` the same-index config measures.
+    """
+    topology = wigle_topology(include_hidden=True)
+    measured = [flow for flow in topology.flows if flow.flow_id < 100]
+    if max_flows is not None:
+        measured = measured[:max_flows]
+    hidden_ids = [flow.flow_id for flow in topology.flows if flow.flow_id >= 100]
+    configs: List[ScenarioConfig] = []
+    keys: List[Tuple[str, int, str]] = []
+    for label in schemes:
+        for flow in measured:
+            active = [flow.flow_id] + (hidden_ids if hidden_traffic else [])
+            configs.append(
+                ScenarioConfig(
+                    topology=topology,
+                    scheme_label=label,
+                    route_set="ROUTE0",
+                    active_flows=active,
+                    bit_error_rate=bit_error_rate,
+                    duration_s=duration_s,
+                    seed=seed,
+                    phy=_phy_for_rate(data_rate_mbps),
+                )
+            )
+            keys.append((label, flow.flow_id, flow.label))
+    return configs, keys
+
+
 def run_wigle(
     data_rate_mbps: float = 6.0,
     hidden_traffic: bool = False,
@@ -43,32 +84,18 @@ def run_wigle(
     duration_s: float = 1.0,
     seed: int = 1,
     max_flows: int | None = None,
+    runner: Optional[SweepRunner] = None,
 ) -> WigleResult:
     """Reproduce one panel of Fig. 10.
 
     ``max_flows`` limits how many of the eight measured pairs are run
     (useful for quick benchmark configurations); ``None`` runs all eight.
     """
-    topology = wigle_topology(include_hidden=True)
-    measured = [flow for flow in topology.flows if flow.flow_id < 100]
-    if max_flows is not None:
-        measured = measured[:max_flows]
-    hidden_ids = [flow.flow_id for flow in topology.flows if flow.flow_id >= 100]
+    configs, keys = wigle_grid(
+        data_rate_mbps, hidden_traffic, schemes, bit_error_rate, duration_s, seed, max_flows
+    )
+    outcomes = (runner or SweepRunner()).run(configs)
     result = WigleResult(data_rate_mbps=data_rate_mbps, hidden_traffic=hidden_traffic)
-    for label in schemes:
-        result.throughput_mbps[label] = {}
-        for flow in measured:
-            active = [flow.flow_id] + (hidden_ids if hidden_traffic else [])
-            config = ScenarioConfig(
-                topology=topology,
-                scheme_label=label,
-                route_set="ROUTE0",
-                active_flows=active,
-                bit_error_rate=bit_error_rate,
-                duration_s=duration_s,
-                seed=seed,
-                phy=_phy_for_rate(data_rate_mbps),
-            )
-            outcome = run_scenario(config)
-            result.throughput_mbps[label][flow.label] = outcome.flow_throughput(flow.flow_id)
+    for (label, flow_id, flow_label), outcome in zip(keys, outcomes):
+        result.throughput_mbps.setdefault(label, {})[flow_label] = outcome.flow_throughput(flow_id)
     return result

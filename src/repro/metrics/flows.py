@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.sim.units import ns_to_seconds
@@ -31,6 +31,26 @@ class FlowResult:
         if self.packets_received == 0:
             return 0.0
         return self.reordered / self.packets_received
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe representation (used by the sweep cache)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FlowResult":
+        return cls(
+            flow_id=int(data["flow_id"]),
+            kind=str(data["kind"]),
+            src=int(data["src"]),
+            dst=int(data["dst"]),
+            throughput_mbps=float(data["throughput_mbps"]),
+            packets_received=int(data.get("packets_received", 0)),
+            packets_sent=int(data.get("packets_sent", 0)),
+            reordered=int(data.get("reordered", 0)),
+            duplicates=int(data.get("duplicates", 0)),
+            mean_delay_ms=float(data.get("mean_delay_ms", 0.0)),
+            extra=dict(data.get("extra", {})),
+        )
 
 
 def summarize_tcp_flow(

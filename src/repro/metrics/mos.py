@@ -20,7 +20,7 @@ as lost.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Iterable, Sequence
 
 #: Mouth-to-ear delay budget used in the paper (milliseconds).
@@ -75,6 +75,19 @@ class VoipQuality:
     loss_rate: float
     r_factor: float
     mos: float
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation (used by the sweep cache)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "VoipQuality":
+        return cls(
+            delay_ms=float(data["delay_ms"]),
+            loss_rate=float(data["loss_rate"]),
+            r_factor=float(data["r_factor"]),
+            mos=float(data["mos"]),
+        )
 
 
 def evaluate_voip(

@@ -14,7 +14,7 @@ rate (``T_phyhdr`` in the paper's overhead formulas).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
 
 from repro.sim.units import transmission_time_ns, us
 
@@ -42,6 +42,14 @@ class PhyParams:
     def with_rates(self, data_rate_bps: float, basic_rate_bps: float) -> "PhyParams":
         """A copy of these parameters with different data / basic rates."""
         return replace(self, data_rate_bps=data_rate_bps, basic_rate_bps=basic_rate_bps)
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation (used by the sweep cache)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PhyParams":
+        return cls(**data)
 
 
 #: The default high-rate profile from Table I (216 / 54 Mb/s).

@@ -37,10 +37,15 @@ class Event:
     callback: Callable[..., None] = field(compare=False)
     args: tuple = field(default=(), compare=False)
     cancelled: bool = field(default=False, compare=False)
+    on_cancel: Optional[Callable[[], None]] = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so that it is skipped when its time arrives."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.on_cancel is not None:
+            self.on_cancel()
 
     @property
     def active(self) -> bool:
@@ -67,12 +72,17 @@ class Simulator:
     are executed in FIFO order before the clock moves on.
     """
 
+    #: Minimum heap size before lazy-cancellation compaction kicks in; below
+    #: this the scan costs more than the memory it reclaims.
+    COMPACT_MIN_HEAP = 64
+
     def __init__(self, start_time: int = 0) -> None:
         self._now: int = int(start_time)
         self._heap: list[Event] = []
         self._seq: int = 0
         self._running: bool = False
         self._processed: int = 0
+        self._cancelled_pending: int = 0
 
     # ------------------------------------------------------------------
     # Clock
@@ -92,6 +102,11 @@ class Simulator:
         """Number of events still on the heap (including cancelled ones)."""
         return len(self._heap)
 
+    @property
+    def cancelled_pending_events(self) -> int:
+        """Number of cancelled events still occupying heap slots."""
+        return self._cancelled_pending
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
@@ -108,10 +123,32 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {when} ns, current time is {self._now} ns"
             )
-        event = Event(time=when, seq=self._seq, callback=callback, args=args)
+        event = Event(
+            time=when, seq=self._seq, callback=callback, args=args, on_cancel=self._note_cancelled
+        )
         self._seq += 1
         heapq.heappush(self._heap, event)
         return event
+
+    def _note_cancelled(self) -> None:
+        """Bookkeeping hook invoked by :meth:`Event.cancel`.
+
+        Lazy cancellation leaves the heap entry in place; once more than half
+        of the heap is dead weight the whole structure is rebuilt so that long
+        runs with heavy timer churn cannot grow memory unboundedly.
+        """
+        self._cancelled_pending += 1
+        if (
+            len(self._heap) >= self.COMPACT_MIN_HEAP
+            and self._cancelled_pending * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify."""
+        self._heap = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_pending = 0
 
     # ------------------------------------------------------------------
     # Execution
@@ -121,6 +158,7 @@ class Simulator:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._cancelled_pending -= 1
                 continue
             if event.time < self._now:
                 raise SimulationError("event heap corrupted: time went backwards")
@@ -136,28 +174,39 @@ class Simulator:
 
         ``until`` is an absolute time in nanoseconds; events scheduled exactly
         at ``until`` are executed, later ones are left pending and the clock
-        is advanced to ``until``.
+        is advanced to ``until``.  When ``max_events`` stops the run first the
+        clock only advances to ``until`` if no runnable event at or before
+        ``until`` remains pending — otherwise it stays at the last executed
+        event so a later ``run`` call can resume without time going backwards.
         """
         if self._running:
             raise SimulationError("simulator is already running (re-entrant run call)")
         self._running = True
         executed = 0
+        truncated = False
         try:
             while self._heap:
                 if max_events is not None and executed >= max_events:
-                    return
+                    truncated = True
+                    break
                 head = self._heap[0]
                 if head.cancelled:
                     heapq.heappop(self._heap)
+                    self._cancelled_pending -= 1
                     continue
                 if until is not None and head.time > until:
                     break
                 if self.step():
                     executed += 1
             if until is not None and until > self._now:
-                self._now = until
+                if not truncated or not self._has_runnable_event_before(until):
+                    self._now = until
         finally:
             self._running = False
+
+    def _has_runnable_event_before(self, when: int) -> bool:
+        """Whether any non-cancelled event at or before ``when`` is pending."""
+        return any(not event.cancelled and event.time <= when for event in self._heap)
 
     def run_for(self, duration: int) -> None:
         """Run for ``duration`` nanoseconds of simulated time from now."""

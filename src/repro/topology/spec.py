@@ -24,6 +24,26 @@ class FlowSpec:
     kind: str = "tcp"  # "tcp" | "udp-saturating" | "voip" | "web"
     label: str = ""
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe representation (used by the sweep cache)."""
+        return {
+            "flow_id": self.flow_id,
+            "src": self.src,
+            "dst": self.dst,
+            "kind": self.kind,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FlowSpec":
+        return cls(
+            flow_id=int(data["flow_id"]),
+            src=int(data["src"]),
+            dst=int(data["dst"]),
+            kind=str(data["kind"]),
+            label=str(data.get("label", "")),
+        )
+
 
 @dataclass
 class TopologySpec:
@@ -49,3 +69,50 @@ class TopologySpec:
             if flow.flow_id == flow_id:
                 return flow
         raise KeyError(f"no flow {flow_id} in topology {self.name}")
+
+    # ------------------------------------------------------------------
+    # Serialization (sweep cache / cross-process result exchange)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe representation.
+
+        Dict keys become strings (``positions`` by node id, routes by an
+        ``"src-dst"`` pair) so the result round-trips through ``json``.
+        """
+        return {
+            "name": self.name,
+            "positions": {
+                str(node_id): [float(x), float(y)]
+                for node_id, (x, y) in sorted(self.positions.items())
+            },
+            "flows": [flow.to_dict() for flow in self.flows],
+            "route_sets": {
+                set_name: {
+                    f"{src}-{dst}": list(path)
+                    for (src, dst), path in sorted(routes.items())
+                }
+                for set_name, routes in sorted(self.route_sets.items())
+            },
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TopologySpec":
+        positions = {
+            int(node_id): (float(xy[0]), float(xy[1]))
+            for node_id, xy in data["positions"].items()
+        }
+        route_sets = {}
+        for set_name, routes in data.get("route_sets", {}).items():
+            table = {}
+            for key, path in routes.items():
+                src, _, dst = key.partition("-")
+                table[(int(src), int(dst))] = [int(hop) for hop in path]
+            route_sets[set_name] = table
+        return cls(
+            name=str(data["name"]),
+            positions=positions,
+            flows=[FlowSpec.from_dict(flow) for flow in data.get("flows", [])],
+            route_sets=route_sets,
+            description=str(data.get("description", "")),
+        )

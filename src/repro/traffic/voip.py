@@ -64,6 +64,14 @@ class VoipFlow:
     def stop(self) -> None:
         self._running = False
 
+    def reset_stats(self) -> None:
+        """Zero sender-side counters at the warmup/measurement boundary.
+
+        The receiver's delay samples are reset separately (by the experiment
+        harness) so :meth:`quality` scores only the measurement window.
+        """
+        self.stats = VoipFlowStats()
+
     # ------------------------------------------------------------------
     # Quality
     # ------------------------------------------------------------------

@@ -350,7 +350,17 @@ class TcpSink:
         self.next_expected = 0
         self._out_of_order: set[int] = set()
         self._highest_seen = -1
+        self._in_order_base = 0
         host.register_flow(flow_id, self._on_packet)
+
+    def reset_stats(self) -> None:
+        """Zero the counters while keeping protocol state (sequence tracking).
+
+        Called at the warmup/measurement boundary so that goodput and
+        re-ordering statistics cover only the measurement window.
+        """
+        self.stats = TcpSinkStats()
+        self._in_order_base = self.next_expected
 
     def _on_packet(self, packet: Packet) -> None:
         payload = packet.payload
@@ -376,7 +386,7 @@ class TcpSink:
                     self.next_expected += 1
             else:
                 self._out_of_order.add(seq)
-        self.stats.in_order_bytes = self.next_expected * self.mss_bytes
+        self.stats.in_order_bytes = (self.next_expected - self._in_order_base) * self.mss_bytes
         self._send_ack()
 
     def _send_ack(self) -> None:

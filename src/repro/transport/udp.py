@@ -47,6 +47,10 @@ class UdpSender:
         self.stats = UdpStats()
         self._next_seq = 0
 
+    def reset_stats(self) -> None:
+        """Zero the counters (sequence numbering continues where it was)."""
+        self.stats = UdpStats()
+
     def send(self, size_bytes: int) -> Packet:
         """Emit one datagram of ``size_bytes`` towards the destination."""
         packet = Packet(
@@ -83,6 +87,10 @@ class UdpReceiver:
         self._seen: set[int] = set()
         self._on_receive = on_receive
         host.register_flow(flow_id, self._on_packet)
+
+    def reset_stats(self) -> None:
+        """Zero the counters while keeping duplicate-detection state."""
+        self.stats = UdpStats()
 
     def _on_packet(self, packet: Packet) -> None:
         payload = packet.payload

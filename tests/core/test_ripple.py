@@ -151,6 +151,50 @@ class TestEndToEndRetransmission:
         assert len(seqs) == 48
 
 
+class TestBoundedState:
+    """Forwarder/destination bookkeeping must not grow with run length."""
+
+    def test_relayed_and_suppressed_sets_are_bounded(self):
+        from repro.core.ripple import _RecentFrameIds
+
+        ids = _RecentFrameIds(capacity=4)
+        for frame_id in range(10):
+            ids.add(frame_id)
+        assert len(ids) == 4
+        # Oldest ids were evicted, newest kept.
+        assert 0 not in ids and 5 not in ids
+        assert all(frame_id in ids for frame_id in (6, 7, 8, 9))
+        ids.add(9)  # re-adding is a no-op
+        assert len(ids) == 4
+        ids.discard(9)
+        assert 9 not in ids and len(ids) == 3
+
+    def test_forwarder_state_stays_bounded_over_a_run(self):
+        net, _ = build_chain_network("ripple", n_nodes=4, ber=0.0, shadowing_deviation=0.0)
+        inject_packets(net, 0, 3, 60)
+        net.run_seconds(0.5)
+        for node_id in (1, 2):
+            mac = net.node(node_id).mac
+            assert len(mac._relayed_frames) <= mac._relayed_frames.capacity
+            assert len(mac._suppressed_frames) <= mac._suppressed_frames.capacity
+
+    def test_destination_ack_history_pruned_below_watermark(self):
+        # A long transfer pushes the origin's flush watermark forward; the
+        # destination must forget acked sequence numbers below it instead of
+        # remembering every sequence number of the whole run.
+        net, _ = build_chain_network("ripple", n_nodes=4, ber=0.0, shadowing_deviation=0.0)
+        received = collect_deliveries(net, 3)
+        inject_packets(net, 0, 3, 48)
+        net.run_seconds(0.5)
+        assert len(received) == 48
+        acked_sets = net.node(3).mac._acked_seqs_per_origin
+        assert acked_sets, "destination should have tracked at least one origin"
+        for acked in acked_sets.values():
+            # Far fewer than the 60 sequence numbers delivered: only the
+            # still-outstanding tail survives the watermark pruning.
+            assert len(acked) <= 2 * net.node(0).mac.max_aggregation
+
+
 class TestMtxopTimeout:
     def test_timeout_covers_worst_case_relay_chain(self):
         net, _ = build_chain_network("ripple", n_nodes=4, ber=0.0, shadowing_deviation=0.0)

@@ -1,0 +1,164 @@
+"""Parallel sweep runner: grids, digests, caching, and serial/parallel parity."""
+
+import json
+
+import pytest
+
+from repro.experiments.parallel import (
+    ResultCache,
+    SweepRunner,
+    config_digest,
+    expand_grid,
+)
+from repro.experiments.runner import (
+    ScenarioConfig,
+    ScenarioResult,
+    run_scenario,
+    sweep_schemes,
+)
+from repro.topology.standard import fig1_topology
+
+
+def small_config(**overrides):
+    defaults = dict(
+        topology=fig1_topology(),
+        scheme_label="D",
+        active_flows=[1],
+        duration_s=0.05,
+        seed=2,
+    )
+    defaults.update(overrides)
+    return ScenarioConfig(**defaults)
+
+
+class TestConfigDigest:
+    def test_digest_is_stable(self):
+        assert config_digest(small_config()) == config_digest(small_config())
+
+    def test_digest_changes_with_any_field(self):
+        base = config_digest(small_config())
+        assert config_digest(small_config(seed=3)) != base
+        assert config_digest(small_config(scheme_label="R16")) != base
+        assert config_digest(small_config(bit_error_rate=1e-5)) != base
+        assert config_digest(small_config(warmup_s=0.01)) != base
+
+    def test_digest_survives_serialization_roundtrip(self):
+        config = small_config(scheme_label="R16", max_aggregation=4)
+        rebuilt = ScenarioConfig.from_dict(json.loads(json.dumps(config.to_dict())))
+        assert config_digest(rebuilt) == config_digest(config)
+
+
+class TestSerializationRoundTrip:
+    def test_scenario_result_roundtrip_is_lossless(self):
+        result = run_scenario(small_config())
+        data = json.loads(json.dumps(result.to_dict()))
+        rebuilt = ScenarioResult.from_dict(data)
+        assert rebuilt.to_dict() == result.to_dict()
+        assert rebuilt.total_throughput_mbps == result.total_throughput_mbps
+        assert rebuilt.events_processed == result.events_processed
+
+    def test_voip_quality_roundtrip(self):
+        from repro.experiments.voip import voip_topology
+
+        config = ScenarioConfig(
+            topology=voip_topology(1),
+            scheme_label="D",
+            active_flows=[1],
+            duration_s=0.1,
+            seed=2,
+        )
+        result = run_scenario(config)
+        rebuilt = ScenarioResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert set(rebuilt.voip_quality) == set(result.voip_quality)
+        for flow_id, quality in result.voip_quality.items():
+            assert rebuilt.voip_quality[flow_id] == quality
+
+
+class TestExpandGrid:
+    def test_cartesian_product_order(self):
+        grid = expand_grid(small_config(), scheme_label=["D", "R16"], seed=[1, 2])
+        assert [(c.scheme_label, c.seed) for c in grid] == [
+            ("D", 1), ("D", 2), ("R16", 1), ("R16", 2)
+        ]
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(TypeError):
+            expand_grid(small_config(), not_a_field=[1, 2])
+
+    def test_empty_axes_yield_base(self):
+        grid = expand_grid(small_config())
+        assert len(grid) == 1
+        assert grid[0].scheme_label == "D"
+
+
+class TestSweepRunner:
+    def test_results_in_input_order(self):
+        grid = expand_grid(small_config(), scheme_label=["D", "R1"])
+        results = SweepRunner().run(grid)
+        assert [r.config.scheme_label for r in results] == ["D", "R1"]
+
+    def test_parallel_matches_serial_bit_for_bit(self):
+        grid = expand_grid(small_config(), scheme_label=["D", "R16"], seed=[1, 2])
+        serial = SweepRunner(jobs=1).run(grid)
+        parallel = SweepRunner(jobs=4).run(grid)
+        assert [r.to_dict() for r in parallel] == [r.to_dict() for r in serial]
+
+    def test_runner_matches_direct_run_scenario(self):
+        config = small_config()
+        assert SweepRunner().run_one(config).to_dict() == run_scenario(config).to_dict()
+
+    def test_sweep_schemes_goes_through_runner(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        base = small_config()
+        first = sweep_schemes(base, ("D", "R1"), runner=SweepRunner(cache=cache))
+        assert cache.misses == 2 and cache.hits == 0
+        second = sweep_schemes(base, ("D", "R1"), runner=SweepRunner(cache=cache))
+        assert cache.hits == 2
+        assert {k: v.to_dict() for k, v in first.items()} == {
+            k: v.to_dict() for k, v in second.items()
+        }
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        config = small_config()
+        assert cache.load(config) is None
+        assert cache.misses == 1
+        result = run_scenario(config)
+        cache.store(config, result)
+        cached = cache.load(config)
+        assert cached is not None and cache.hits == 1
+        assert cached.to_dict() == result.to_dict()
+
+    def test_second_sweep_served_from_cache(self, tmp_path):
+        grid = expand_grid(small_config(), scheme_label=["D", "R1"], seed=[1, 2])
+        cache = ResultCache(tmp_path)
+        first = SweepRunner(jobs=1, cache=cache).run(grid)
+        assert cache.hits == 0 and cache.misses == len(grid)
+        second = SweepRunner(jobs=1, cache=cache).run(grid)
+        assert cache.hits == len(grid)
+        assert [r.to_dict() for r in second] == [r.to_dict() for r in first]
+
+    def test_same_config_and_seed_give_identical_cached_result(self, tmp_path):
+        # Determinism end to end: simulate twice into two separate caches and
+        # compare the bytes on disk.
+        config = small_config(scheme_label="R16", seed=4)
+        digest = config_digest(config)
+        payloads = []
+        for subdir in ("a", "b"):
+            cache = ResultCache(tmp_path / subdir)
+            SweepRunner(cache=cache).run([config])
+            payloads.append(cache.path_for(digest).read_text())
+        assert payloads[0] == payloads[1]
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        config = small_config()
+        path = cache.path_for(config_digest(config))
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json")
+        assert cache.load(config) is None
+        # And the runner transparently re-simulates and repairs the entry.
+        result = SweepRunner(cache=cache).run_one(config)
+        assert cache.load(config).to_dict() == result.to_dict()

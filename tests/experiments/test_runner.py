@@ -108,6 +108,49 @@ class TestRunScenario:
         assert a.events_processed != b.events_processed
 
 
+class TestWarmupAccounting:
+    """Warmup-period traffic must not count towards the reported summaries."""
+
+    def test_tcp_throughput_excludes_warmup_bytes(self):
+        # Under the old accounting, bytes accumulated since t=0 were divided
+        # by duration_ns only, so warmup=0.1/duration=0.1 reported ~2x the
+        # throughput of the same scenario measured over the full 0.2 s.
+        base = dict(topology=fig1_topology(), scheme_label="D", active_flows=[1], seed=2)
+        full = run_scenario(ScenarioConfig(**base, duration_s=0.2, warmup_s=0.0))
+        warm = run_scenario(ScenarioConfig(**base, duration_s=0.1, warmup_s=0.1))
+        assert warm.total_throughput_mbps > 0
+        assert warm.total_throughput_mbps < 1.5 * full.total_throughput_mbps
+
+    def test_warmup_resets_received_counters(self):
+        base = dict(topology=fig1_topology(), scheme_label="D", active_flows=[1], seed=2)
+        full = run_scenario(ScenarioConfig(**base, duration_s=0.2, warmup_s=0.0))
+        warm = run_scenario(ScenarioConfig(**base, duration_s=0.1, warmup_s=0.1))
+        # Both simulations see the same event stream; the warmed-up one only
+        # reports the second half of it.
+        assert warm.flows[0].packets_received < full.flows[0].packets_received
+
+    def test_udp_throughput_excludes_warmup_bytes(self):
+        from repro.topology.standard import fig5b_topology
+
+        base = dict(topology=fig5b_topology(n_hidden=1), scheme_label="D", seed=2)
+        full = run_scenario(ScenarioConfig(**base, duration_s=0.2, warmup_s=0.0))
+        warm = run_scenario(ScenarioConfig(**base, duration_s=0.1, warmup_s=0.1))
+        full_udp = [f for f in full.flows if f.kind == "udp"][0]
+        warm_udp = [f for f in warm.flows if f.kind == "udp"][0]
+        assert warm_udp.packets_received > 0
+        assert warm_udp.throughput_mbps < 1.5 * full_udp.throughput_mbps
+        # packets_sent is the sender-side count for the measurement window.
+        assert warm_udp.packets_sent < full_udp.packets_sent
+
+    def test_zero_warmup_unchanged(self):
+        config = ScenarioConfig(
+            topology=fig1_topology(), scheme_label="D", active_flows=[1], duration_s=0.1, seed=2
+        )
+        a = run_scenario(config)
+        b = run_scenario(ScenarioConfig(**{**config.__dict__, "warmup_s": 0.0}))
+        assert a.total_throughput_mbps == b.total_throughput_mbps
+
+
 class TestReport:
     def test_format_table_alignment(self):
         text = format_table("title", ["1", "2"], {"D": [1.0, 2.0], "R16": [3.0, 4.5]})

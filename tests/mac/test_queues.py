@@ -119,6 +119,49 @@ class TestReorderBuffer:
         rq.flush(0, flush_below=10)
         assert rq.accept(0, 4, pkt(4), 0) == []
 
+    def test_flush_below_current_watermark_is_noop(self):
+        rq = ReorderBuffer()
+        rq.accept(0, 0, pkt(0), 0)
+        rq.accept(0, 1, pkt(1), 0)
+        # A stale (lower) watermark must not rewind next_expected or
+        # re-release anything.
+        assert rq.flush(0, flush_below=1) == []
+        assert rq.next_expected(0) == 2
+
+    def test_flush_at_exact_next_expected_is_noop(self):
+        rq = ReorderBuffer()
+        rq.accept(0, 0, pkt(0), 0)
+        assert rq.flush(0, flush_below=1) == []
+        assert rq.next_expected(0) == 1
+
+    def test_header_only_accept_advances_watermark(self):
+        # packet=None models a frame whose sub-packets were all corrupted but
+        # whose header (carrying flush_below) survived.
+        rq = ReorderBuffer()
+        rq.accept(0, 2, pkt(2), 0)
+        released = rq.accept(0, -1, None, flush_below=2)
+        assert [p.seq for p in released] == [2]
+        assert rq.next_expected(0) == 3
+
+    def test_flush_releases_held_run_beyond_watermark(self):
+        # Watermark 2 releases 1; 2 and 3 are contiguous from there, so the
+        # whole run goes out in order.
+        rq = ReorderBuffer()
+        rq.accept(0, 1, pkt(1), 0)
+        rq.accept(0, 2, pkt(2), 0)
+        rq.accept(0, 3, pkt(3), 0)
+        released = rq.flush(0, flush_below=2)
+        assert [p.seq for p in released] == [1, 2, 3]
+        assert rq.pending(0) == 0
+        assert rq.next_expected(0) == 4
+
+    def test_duplicate_of_held_packet_not_double_released(self):
+        rq = ReorderBuffer()
+        rq.accept(0, 1, pkt(1), 0)
+        rq.accept(0, 1, pkt(1), 0)  # duplicate while still held
+        released = rq.accept(0, 0, pkt(0), 0)
+        assert [p.seq for p in released] == [0, 1]
+
     @given(order=st.permutations(list(range(8))))
     def test_any_arrival_order_releases_in_order(self, order):
         rq = ReorderBuffer()

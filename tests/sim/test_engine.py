@@ -122,6 +122,36 @@ class TestRunControl:
         sim.run()
         assert sim.processed_events == 1
 
+    def test_max_events_leaves_clock_at_last_executed_event(self):
+        # A truncated run must not jump the clock past still-pending events:
+        # that would make the next run() raise "time went backwards".
+        sim = Simulator()
+        fired = []
+        for t in (10, 20, 30):
+            sim.schedule(t, fired.append, t)
+        sim.run(until=100, max_events=1)
+        assert fired == [10]
+        assert sim.now == 10
+        sim.run(until=100)
+        assert fired == [10, 20, 30]
+        assert sim.now == 100
+
+    def test_max_events_advances_clock_when_rest_is_beyond_until(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10, fired.append, 10)
+        sim.schedule(500, fired.append, 500)
+        sim.run(until=100, max_events=1)
+        assert fired == [10]
+        assert sim.now == 100  # the only pending event is after `until`
+
+    def test_max_events_without_until_keeps_clock(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.schedule(20, lambda: None)
+        sim.run(max_events=1)
+        assert sim.now == 10
+
     @given(delays=st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=50))
     def test_events_never_fire_out_of_order(self, delays):
         sim = Simulator()
@@ -131,3 +161,51 @@ class TestRunControl:
         sim.run()
         assert observed == sorted(observed)
         assert len(observed) == len(delays)
+
+
+class TestHeapCompaction:
+    """Lazy cancellation must not grow the heap unboundedly."""
+
+    def test_compaction_drops_cancelled_entries(self):
+        sim = Simulator()
+        events = [sim.schedule(100 + i, lambda: None) for i in range(200)]
+        for event in events[:150]:
+            event.cancel()
+        # The heap was rebuilt (at least once) when dead weight crossed half,
+        # so cancelled entries can never dominate the heap.
+        assert sim.pending_events < 200
+        assert sim.cancelled_pending_events * 2 <= sim.pending_events
+        sim.run()
+        assert sim.processed_events == 50
+
+    def test_small_heaps_are_left_alone(self):
+        sim = Simulator()
+        keep = sim.schedule(10, lambda: None)
+        sim.schedule(20, lambda: None).cancel()
+        sim.schedule(30, lambda: None).cancel()
+        assert sim.pending_events == 3  # below the compaction threshold
+        sim.run()
+        assert sim.processed_events == 1
+        assert keep.cancelled  # fired
+
+    def test_order_preserved_across_compaction(self):
+        sim = Simulator()
+        fired = []
+        survivors = []
+        for i in range(200):
+            event = sim.schedule(1000 - i, fired.append, 1000 - i)
+            if i % 4 != 0:
+                event.cancel()
+            else:
+                survivors.append(1000 - i)
+        sim.run()
+        assert fired == sorted(survivors)
+
+    def test_cancel_after_fire_does_not_distort_accounting(self):
+        sim = Simulator()
+        handles = [sim.schedule(i, lambda: None) for i in range(5)]
+        sim.run()
+        for handle in handles:
+            handle.cancel()  # stale handles: already fired
+        assert sim.cancelled_pending_events == 0
+        assert sim.pending_events == 0
