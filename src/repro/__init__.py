@@ -25,9 +25,11 @@ See ``examples/quickstart.py`` for a complete runnable scenario and
 
 from repro.mac import AfrMac, DcfMac, MacTiming, RouteDecision
 from repro.core import RippleMac
+from repro.mobility import MobilityManager, MobilitySpec
 from repro.packet import Packet
 from repro.phy import BitErrorModel, PhyParams, ShadowingPropagation
 from repro.routing import (
+    AdaptiveEtxRouting,
     McExorMac,
     PreExorMac,
     RoutingProtocol,
@@ -45,10 +47,13 @@ __all__ = [
     "MacTiming",
     "RouteDecision",
     "RippleMac",
+    "MobilityManager",
+    "MobilitySpec",
     "Packet",
     "BitErrorModel",
     "PhyParams",
     "ShadowingPropagation",
+    "AdaptiveEtxRouting",
     "McExorMac",
     "PreExorMac",
     "RoutingProtocol",

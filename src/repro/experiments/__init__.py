@@ -14,6 +14,7 @@ Table III   :func:`repro.experiments.voip.run_table3`               VoIP MoS
 Fig. 10     :func:`repro.experiments.wigle.run_wigle`               Wigle topology
 Fig. 12     :func:`repro.experiments.roofnet.run_roofnet`           Roofnet topology
 (extra)     :mod:`repro.experiments.ablation`                       aggregation / forwarder ablations
+(extra)     :mod:`repro.experiments.mobility`                       scheme x node-speed sweeps (TCP, VoIP MoS)
 ==========  ==========================================  ==============================
 
 Each experiment expresses its work as a declarative grid of
@@ -26,6 +27,9 @@ and runs any figure/table from the command line with ``--jobs``,
 """
 
 from repro.experiments.parallel import (
+    CACHE_SCHEMA_VERSION,
+    CacheMissError,
+    CacheOnlySweepRunner,
     ResultCache,
     SweepRunner,
     config_digest,
@@ -42,6 +46,9 @@ from repro.experiments.runner import (
 )
 
 __all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CacheMissError",
+    "CacheOnlySweepRunner",
     "DEFAULT_SCHEME_LABELS",
     "PAPER_SCHEMES",
     "ResultCache",

@@ -10,6 +10,13 @@ incrementally from the on-disk result cache::
     python -m repro.experiments run fig3 --jobs 4
     python -m repro.experiments run fig6a fig6b --seeds 3 --duration 0.2
     python -m repro.experiments run table3 --no-cache
+    python -m repro.experiments run mobility-tcp mobility-voip
+
+Re-render a completed experiment's tables *without* simulating anything
+(errors out if the sweep has not been run yet)::
+
+    python -m repro.experiments report fig3
+    python -m repro.experiments report mobility-tcp --seeds 3
 
 Results are rendered as the aligned text tables of
 :mod:`repro.experiments.report`; a cache summary (hits/misses) is printed
@@ -26,7 +33,12 @@ import sys
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
-from repro.experiments.parallel import ResultCache, SweepRunner
+from repro.experiments.parallel import (
+    CacheMissError,
+    CacheOnlySweepRunner,
+    ResultCache,
+    SweepRunner,
+)
 from repro.experiments.report import format_table, render_panel
 
 
@@ -167,6 +179,30 @@ def _render_aggregation(runner, duration_s, seed):
     )
 
 
+def _render_mobility_tcp(runner, duration_s, seed):
+    from repro.experiments.mobility import run_mobility_tcp
+
+    result = run_mobility_tcp(seed=seed, runner=runner, **_duration_kwargs(duration_s))
+    columns = sorted(next(iter(result.throughput_mbps.values())))
+    return render_panel(
+        "Mobility — TCP Mb/s vs node speed (m/s, random waypoint)",
+        result.throughput_mbps,
+        columns,
+    )
+
+
+def _render_mobility_voip(runner, duration_s, seed):
+    from repro.experiments.mobility import run_mobility_voip
+
+    result = run_mobility_voip(seed=seed, runner=runner, **_duration_kwargs(duration_s))
+    columns = sorted(next(iter(result.mos.values())))
+    return render_panel(
+        "Mobility — mean VoIP MoS vs node speed (m/s, random waypoint)",
+        result.mos,
+        columns,
+    )
+
+
 def _render_forwarders(runner, duration_s, seed):
     from repro.experiments.ablation import run_forwarder_ablation
 
@@ -195,6 +231,8 @@ EXPERIMENTS: Dict[str, Experiment] = {
         Experiment("fig12", "Roofnet topology per-pair throughput", _render_roofnet),
         Experiment("ablation-aggregation", "RIPPLE max-aggregation sweep", _render_aggregation),
         Experiment("ablation-forwarders", "RIPPLE forwarder-cap sweep", _render_forwarders),
+        Experiment("mobility-tcp", "TCP throughput vs node speed (random waypoint)", _render_mobility_tcp),
+        Experiment("mobility-voip", "VoIP MoS vs node speed (random waypoint)", _render_mobility_voip),
     ]
 }
 
@@ -206,34 +244,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list runnable experiments")
-    run = sub.add_parser("run", help="run one or more experiments by name")
-    run.add_argument(
+    # Arguments shared by 'run' and 'report' — defined once so the two
+    # commands cannot drift apart (identical flags and defaults are what
+    # makes 'report' recompute the same cache digests 'run' stored under).
+    shared = argparse.ArgumentParser(add_help=False)
+    shared.add_argument(
         "names",
         nargs="+",
         metavar="NAME",
         help="experiment names from 'list', or 'all'",
     )
-    run.add_argument("--jobs", type=int, default=1, help="worker processes (default 1; 0 = one per CPU)")
-    run.add_argument(
+    shared.add_argument(
         "--seeds",
         type=int,
         default=1,
         metavar="N",
-        help="run each experiment with seeds 1..N (default 1)",
+        help="process each experiment with seeds 1..N (default 1)",
     )
-    run.add_argument(
+    shared.add_argument(
         "--duration",
         type=float,
         default=None,
         metavar="SECONDS",
         help="per-scenario simulated duration (default: each experiment's own)",
     )
-    run.add_argument("--no-cache", action="store_true", help="always simulate, never read/write the cache")
-    run.add_argument(
+    shared.add_argument(
         "--cache-dir",
         default=None,
         metavar="DIR",
         help="cache root (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    run = sub.add_parser("run", help="run one or more experiments by name", parents=[shared])
+    run.add_argument("--jobs", type=int, default=1, help="worker processes (default 1; 0 = one per CPU)")
+    run.add_argument("--no-cache", action="store_true", help="always simulate, never read/write the cache")
+    sub.add_parser(
+        "report",
+        help="re-render completed experiments from the cache (never simulates)",
+        parents=[shared],
     )
     return parser
 
@@ -253,14 +300,27 @@ def main(argv: Optional[list] = None) -> int:
         print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
 
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
-    runner = SweepRunner(jobs=args.jobs, cache=cache)
+    if args.command == "report":
+        cache = ResultCache(args.cache_dir)
+        runner: SweepRunner = CacheOnlySweepRunner(cache)
+    else:
+        cache = None if args.no_cache else ResultCache(args.cache_dir)
+        runner = SweepRunner(jobs=args.jobs, cache=cache)
     for name in names:
         exp = EXPERIMENTS[name]
         for seed in range(1, args.seeds + 1):
             header = f"=== {name} (seed {seed}) ==="
             print(header)
-            print(exp.render(runner, args.duration, seed))
+            try:
+                print(exp.render(runner, args.duration, seed))
+            except CacheMissError as exc:
+                print(
+                    f"{name} (seed {seed}): {exc}.\n"
+                    f"Run it first:  python -m repro.experiments run {name} --seeds {args.seeds}"
+                    + (f" --duration {args.duration:g}" if args.duration is not None else ""),
+                    file=sys.stderr,
+                )
+                return 3
             print()
     if cache is not None:
         total = cache.hits + cache.misses

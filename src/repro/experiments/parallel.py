@@ -56,16 +56,30 @@ from repro.experiments.runner import ScenarioConfig, ScenarioResult, run_scenari
 #: Default cache root; override with the ``REPRO_CACHE_DIR`` environment variable.
 DEFAULT_CACHE_DIR = ".repro-cache"
 
+#: Version of the ``ScenarioConfig`` serialization layout, folded into every
+#: cache digest.  Bump it whenever the meaning of a config dict changes in a
+#: way ``to_dict`` round-tripping alone cannot express (a new
+#: behaviour-bearing field, changed defaults, ...), so results cached by an
+#: older layout are never silently reused as if they matched.
+#:
+#: History: 1 = pre-mobility layout (PR 1); 2 = ``mobility`` field added.
+CACHE_SCHEMA_VERSION = 2
+
 
 def config_digest(config: ScenarioConfig) -> str:
     """Stable SHA-256 content hash of a scenario config.
 
     Computed over the canonical sorted-key JSON encoding of
-    ``config.to_dict()``; two configs that would produce the same simulation
-    share a digest, and any change to any field (including the topology's
-    positions, flows or routes) changes it.
+    ``config.to_dict()`` together with :data:`CACHE_SCHEMA_VERSION`; two
+    configs that would produce the same simulation share a digest, any
+    change to any field (including the topology's positions, flows or
+    routes) changes it, and a schema bump invalidates every older entry.
     """
-    payload = json.dumps(config.to_dict(), sort_keys=True, separators=(",", ":"))
+    payload = json.dumps(
+        {"schema": CACHE_SCHEMA_VERSION, "config": config.to_dict()},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
@@ -147,6 +161,10 @@ def _run_config_to_dict(config: ScenarioConfig) -> Dict[str, object]:
     return run_scenario(config).to_dict()
 
 
+class CacheMissError(RuntimeError):
+    """Raised by :class:`CacheOnlySweepRunner` when a result was never computed."""
+
+
 class SweepRunner:
     """Evaluate a list of scenario configs, in parallel and incrementally.
 
@@ -209,3 +227,43 @@ class SweepRunner:
         context = multiprocessing.get_context(method)
         with context.Pool(processes=min(self.jobs, len(configs))) as pool:
             return pool.map(_run_config_to_dict, configs)
+
+
+class CacheOnlySweepRunner(SweepRunner):
+    """A runner that only ever *reads*: cache hits or :class:`CacheMissError`.
+
+    Backs the ``report`` CLI subcommand — rendering a completed
+    experiment's tables must never silently kick off hours of simulation
+    because one grid point is missing.  The error names the missing grid
+    points so the user can tell a never-run sweep from a partially
+    evicted or differently-parameterised one.
+    """
+
+    #: How many missing grid points the error message spells out.
+    MISSES_SHOWN = 5
+
+    def __init__(self, cache: ResultCache) -> None:
+        super().__init__(jobs=1, cache=cache)
+
+    @staticmethod
+    def _describe(config: ScenarioConfig) -> str:
+        parts = [
+            config.topology.name,
+            config.scheme_label,
+            f"seed={config.seed}",
+            f"duration={config.duration_s:g}s",
+        ]
+        if config.mobility is not None:
+            mobility = config.mobility.model
+            speed = config.mobility.params.get("speed_max_mps")
+            if speed is not None:
+                mobility += f"@{float(speed):g}m/s"
+            parts.append(f"mobility={mobility}")
+        return "/".join(parts)
+
+    def _execute(self, configs: List[ScenarioConfig]) -> List[Dict[str, object]]:
+        shown = ", ".join(self._describe(config) for config in configs[: self.MISSES_SHOWN])
+        suffix = ", ..." if len(configs) > self.MISSES_SHOWN else ""
+        raise CacheMissError(
+            f"{len(configs)} scenario(s) are not in the result cache: {shown}{suffix}"
+        )

@@ -27,8 +27,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.metrics.flows import FlowResult, summarize_tcp_flow, summarize_udp_flow, total_throughput_mbps
 from repro.metrics.mos import VoipQuality
+from repro.mobility.spec import MobilitySpec
 from repro.phy.error_models import BitErrorModel
 from repro.phy.params import PhyParams
+from repro.routing.dynamic import AdaptiveEtxRouting
 from repro.routing.static import StaticRouting
 from repro.sim.units import seconds
 from repro.topology.network import WirelessNetwork
@@ -71,6 +73,9 @@ class ScenarioConfig:
     tcp_window: int = 64
     max_forwarders: int = 5
     max_aggregation: Optional[int] = None
+    #: Time-varying topology; None (or a static spec) reproduces the paper's
+    #: fixed-placement behaviour exactly.
+    mobility: Optional[MobilitySpec] = None
 
     def to_dict(self) -> Dict[str, object]:
         """Canonical JSON-safe representation.
@@ -92,6 +97,7 @@ class ScenarioConfig:
             "tcp_window": self.tcp_window,
             "max_forwarders": self.max_forwarders,
             "max_aggregation": self.max_aggregation,
+            "mobility": None if self.mobility is None else self.mobility.to_dict(),
         }
 
     @classmethod
@@ -102,6 +108,7 @@ class ScenarioConfig:
         phy = data.get("phy")
         active = data.get("active_flows")
         max_aggregation = data.get("max_aggregation")
+        mobility = data.get("mobility")
         return cls(
             topology=TopologySpec.from_dict(data["topology"]),
             scheme_label=str(data["scheme_label"]),
@@ -115,6 +122,7 @@ class ScenarioConfig:
             tcp_window=int(data.get("tcp_window", 64)),
             max_forwarders=int(data.get("max_forwarders", 5)),
             max_aggregation=None if max_aggregation is None else int(max_aggregation),
+            mobility=None if mobility is None else MobilitySpec.from_dict(mobility),
         )
 
 
@@ -176,8 +184,17 @@ def resolve_scheme(scheme_label: str, default_route_set: str) -> Tuple[str, str]
     return scheme, route_override or default_route_set
 
 
-def build_network(config: ScenarioConfig) -> Tuple[WirelessNetwork, StaticRouting]:
-    """Create the network, install the scheme's stack and the transport layer."""
+def build_network(config: ScenarioConfig) -> Tuple[WirelessNetwork, object]:
+    """Create the network, install the scheme's stack and the transport layer.
+
+    With a live (non-static) ``config.mobility``, the predetermined route
+    table becomes the *fallback* of an
+    :class:`~repro.routing.dynamic.AdaptiveEtxRouting` over the initial
+    connectivity graph, and a mobility manager is installed that moves the
+    radios and periodically re-estimates links so routes and forwarder
+    lists track the changing topology.  A ``None`` or static spec leaves
+    the build byte-for-byte identical to the fixed-placement path.
+    """
     scheme, route_set = resolve_scheme(config.scheme_label, config.route_set)
     topology = config.topology
     if route_set not in topology.route_sets:
@@ -189,11 +206,20 @@ def build_network(config: ScenarioConfig) -> Tuple[WirelessNetwork, StaticRoutin
     )
     network.add_nodes(topology.positions)
     routing = StaticRouting(topology.routes(route_set), max_forwarders=config.max_forwarders)
+    mobile = config.mobility is not None and not config.mobility.is_static
+    if mobile:
+        routing = AdaptiveEtxRouting(
+            network.connectivity_graph(),
+            fallback=routing,
+            max_forwarders=config.max_forwarders,
+        )
     mac_kwargs = {}
     if config.max_aggregation is not None:
         mac_kwargs["max_aggregation"] = config.max_aggregation
     network.install_stack(scheme, routing, **mac_kwargs)
     network.install_transport()
+    if mobile:
+        network.install_mobility(config.mobility)
     return network, routing
 
 

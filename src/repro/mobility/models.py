@@ -1,0 +1,357 @@
+"""Mobility models: how station positions evolve over time.
+
+Each model answers one question — *where is node n at time t + dt, given
+where it was at t* — through :meth:`MobilityModel.advance`.  The classic
+models from the ad-hoc networking literature are provided:
+
+* :class:`StaticMobility` — nobody moves (the paper's setting);
+* :class:`RandomWaypoint` — pick a destination uniformly in a rectangle,
+  travel to it at a uniformly drawn speed, pause, repeat;
+* :class:`GaussMarkov` — temporally correlated speed and heading, tuned
+  by a memory parameter ``alpha`` (1 = straight line, 0 = Brownian);
+* :class:`TraceMobility` — replay externally recorded ``(t, x, y)``
+  samples with piecewise-linear interpolation (e.g. GPS logs of a real
+  deployment).
+
+Models are deliberately free of any simulator coupling: they consume a
+``numpy`` generator passed in by the caller (the
+:class:`~repro.mobility.manager.MobilityManager` hands them the named
+``"mobility"`` stream) and keep all per-node state internally, which is
+what makes trajectories a pure function of ``(seed, model parameters)``.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+Position = Tuple[float, float]
+#: Rectangle the mobile nodes are confined to: (min_x, min_y, max_x, max_y).
+Bounds = Tuple[float, float, float, float]
+
+#: Padding added around the initial placement when no bounds are given, so
+#: nodes have somewhere to go even in degenerate (collinear) layouts.
+DEFAULT_BOUNDS_MARGIN_M = 50.0
+
+
+def bounds_from_positions(
+    positions: Mapping[int, Position], margin_m: float = DEFAULT_BOUNDS_MARGIN_M
+) -> Bounds:
+    """Bounding box of ``positions`` expanded by ``margin_m`` on every side."""
+    if not positions:
+        return (-margin_m, -margin_m, margin_m, margin_m)
+    xs = [x for x, _ in positions.values()]
+    ys = [y for _, y in positions.values()]
+    return (min(xs) - margin_m, min(ys) - margin_m, max(xs) + margin_m, max(ys) + margin_m)
+
+
+def _clamp(value: float, low: float, high: float) -> float:
+    return low if value < low else high if value > high else value
+
+
+def _check_bounds(bounds: Optional[Bounds]) -> Optional[Bounds]:
+    """Normalise and sanity-check an explicit bounds rectangle."""
+    if bounds is None:
+        return None
+    min_x, min_y, max_x, max_y = (float(v) for v in bounds)
+    if not all(math.isfinite(v) for v in (min_x, min_y, max_x, max_y)):
+        raise ValueError(f"bounds must be finite, got {bounds!r}")
+    if min_x > max_x or min_y > max_y:
+        raise ValueError(f"bounds must satisfy min <= max, got {bounds!r}")
+    return (min_x, min_y, max_x, max_y)
+
+
+class MobilityModel(abc.ABC):
+    """Evolves node positions; all state lives inside the model instance."""
+
+    @property
+    @abc.abstractmethod
+    def is_static(self) -> bool:
+        """True when the model can never move any node.
+
+        The manager uses this to schedule *no* events for static models,
+        which keeps static runs bit-identical to a build without mobility.
+        """
+
+    def setup(self, positions: Mapping[int, Position], rng: np.random.Generator) -> None:
+        """Install the initial placement (called once, before the run starts)."""
+        self._positions: Dict[int, Position] = {
+            node_id: (float(x), float(y)) for node_id, (x, y) in positions.items()
+        }
+
+    def position(self, node_id: int) -> Position:
+        """Current position of ``node_id`` as this model last computed it."""
+        return self._positions[node_id]
+
+    @abc.abstractmethod
+    def advance(
+        self, node_id: int, now_s: float, dt_s: float, rng: np.random.Generator
+    ) -> Position:
+        """Move ``node_id`` forward by ``dt_s`` seconds and return its new position.
+
+        ``now_s`` is the simulation time *after* the step (used by trace
+        playback); models that only integrate velocities may ignore it.
+        """
+
+
+class StaticMobility(MobilityModel):
+    """The degenerate model: everything stays exactly where it was placed."""
+
+    @property
+    def is_static(self) -> bool:
+        return True
+
+    def advance(
+        self, node_id: int, now_s: float, dt_s: float, rng: np.random.Generator
+    ) -> Position:
+        return self._positions[node_id]
+
+
+class RandomWaypoint(MobilityModel):
+    """The random-waypoint model (Johnson & Maltz).
+
+    Each node repeatedly (1) draws a destination uniformly inside
+    ``bounds``, (2) travels towards it in a straight line at a speed drawn
+    uniformly from ``[speed_min, speed_max]`` m/s, (3) pauses ``pause_s``
+    seconds, and starts over.  ``speed_max == 0`` degrades to
+    :class:`StaticMobility` (and reports ``is_static`` accordingly).
+    """
+
+    def __init__(
+        self,
+        speed_min_mps: float = 0.0,
+        speed_max_mps: float = 1.0,
+        pause_s: float = 0.0,
+        bounds: Optional[Bounds] = None,
+    ) -> None:
+        if speed_min_mps < 0 or speed_max_mps < 0:
+            raise ValueError("speeds must be non-negative")
+        if speed_min_mps > speed_max_mps:
+            raise ValueError(
+                f"speed_min ({speed_min_mps}) must not exceed speed_max ({speed_max_mps})"
+            )
+        if pause_s < 0:
+            raise ValueError("pause_s must be non-negative")
+        self.speed_min_mps = float(speed_min_mps)
+        self.speed_max_mps = float(speed_max_mps)
+        self.pause_s = float(pause_s)
+        self.bounds = _check_bounds(bounds)
+        self._waypoint: Dict[int, Position] = {}
+        self._speed: Dict[int, float] = {}
+        self._pause_left: Dict[int, float] = {}
+
+    @property
+    def is_static(self) -> bool:
+        return self.speed_max_mps <= 0.0
+
+    def setup(self, positions: Mapping[int, Position], rng: np.random.Generator) -> None:
+        super().setup(positions, rng)
+        if self.bounds is None:
+            self.bounds = bounds_from_positions(positions)
+        self._waypoint.clear()
+        self._speed.clear()
+        self._pause_left = {node_id: 0.0 for node_id in positions}
+
+    def _pick_leg(self, node_id: int, rng: np.random.Generator) -> None:
+        min_x, min_y, max_x, max_y = self.bounds  # type: ignore[misc]
+        self._waypoint[node_id] = (
+            float(rng.uniform(min_x, max_x)),
+            float(rng.uniform(min_y, max_y)),
+        )
+        self._speed[node_id] = float(rng.uniform(self.speed_min_mps, self.speed_max_mps))
+
+    def advance(
+        self, node_id: int, now_s: float, dt_s: float, rng: np.random.Generator
+    ) -> Position:
+        if self.is_static:
+            return self._positions[node_id]
+        remaining = dt_s
+        x, y = self._positions[node_id]
+        while remaining > 1e-12:
+            pause = self._pause_left.get(node_id, 0.0)
+            if pause > 0.0:
+                consumed = min(pause, remaining)
+                self._pause_left[node_id] = pause - consumed
+                remaining -= consumed
+                continue
+            if node_id not in self._waypoint:
+                self._pick_leg(node_id, rng)
+            wx, wy = self._waypoint[node_id]
+            speed = self._speed[node_id]
+            distance = math.hypot(wx - x, wy - y)
+            if speed <= 0.0 or distance <= 1e-9:
+                # A zero-speed or zero-length leg would never consume time
+                # (degenerate bounds can put the waypoint on top of the node);
+                # treat it as a pause so the loop always terminates.
+                self._pause_left[node_id] = self.pause_s if self.pause_s > 0 else remaining
+                del self._waypoint[node_id]
+                continue
+            travel_time = distance / speed
+            if travel_time <= remaining:
+                x, y = wx, wy
+                remaining -= travel_time
+                del self._waypoint[node_id]
+                self._pause_left[node_id] = self.pause_s
+            else:
+                fraction = (speed * remaining) / distance
+                x += (wx - x) * fraction
+                y += (wy - y) * fraction
+                remaining = 0.0
+        self._positions[node_id] = (x, y)
+        return self._positions[node_id]
+
+
+class GaussMarkov(MobilityModel):
+    """Gauss-Markov mobility (Liang & Haas): correlated speed and heading.
+
+    Per step: ``s' = a*s + (1-a)*mean + sqrt(1-a^2)*sigma_s*w`` and the same
+    recursion for the heading, then integrate.  Nodes reflect off the
+    ``bounds`` rectangle so they stay inside the simulated area.
+    """
+
+    def __init__(
+        self,
+        mean_speed_mps: float = 1.0,
+        alpha: float = 0.85,
+        speed_std_mps: float = 0.3,
+        heading_std_rad: float = 0.5,
+        bounds: Optional[Bounds] = None,
+    ) -> None:
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError("alpha must lie in [0, 1]")
+        if mean_speed_mps < 0 or speed_std_mps < 0 or heading_std_rad < 0:
+            raise ValueError("speed/std parameters must be non-negative")
+        self.mean_speed_mps = float(mean_speed_mps)
+        self.alpha = float(alpha)
+        self.speed_std_mps = float(speed_std_mps)
+        self.heading_std_rad = float(heading_std_rad)
+        self.bounds = _check_bounds(bounds)
+        self._speed: Dict[int, float] = {}
+        self._heading: Dict[int, float] = {}
+
+    @property
+    def is_static(self) -> bool:
+        return self.mean_speed_mps <= 0.0 and self.speed_std_mps <= 0.0
+
+    def setup(self, positions: Mapping[int, Position], rng: np.random.Generator) -> None:
+        super().setup(positions, rng)
+        if self.bounds is None:
+            self.bounds = bounds_from_positions(positions)
+        self._speed = {node_id: self.mean_speed_mps for node_id in positions}
+        # Deterministic order: dict iteration follows insertion, which setup
+        # receives already sorted from the manager.
+        self._heading = {
+            node_id: float(rng.uniform(0.0, 2.0 * math.pi)) for node_id in positions
+        }
+
+    def advance(
+        self, node_id: int, now_s: float, dt_s: float, rng: np.random.Generator
+    ) -> Position:
+        if self.is_static:
+            return self._positions[node_id]
+        a = self.alpha
+        noise_scale = math.sqrt(max(0.0, 1.0 - a * a))
+        speed = (
+            a * self._speed[node_id]
+            + (1.0 - a) * self.mean_speed_mps
+            + noise_scale * self.speed_std_mps * float(rng.normal())
+        )
+        speed = max(0.0, speed)
+        # Blend headings via the wrapped angular difference: raw radians would
+        # e.g. pull a 6.2 rad heading the long way round towards a 0.1 rad
+        # steer target instead of nudging it across the 0/2-pi seam.
+        current_heading = self._heading[node_id]
+        steer = math.remainder(self._mean_heading(node_id) - current_heading, math.tau)
+        heading = (
+            current_heading
+            + (1.0 - a) * steer
+            + noise_scale * self.heading_std_rad * float(rng.normal())
+        )
+        x, y = self._positions[node_id]
+        x += speed * dt_s * math.cos(heading)
+        y += speed * dt_s * math.sin(heading)
+        min_x, min_y, max_x, max_y = self.bounds  # type: ignore[misc]
+        # Reflect at the walls (flip the offending heading component).
+        if x < min_x or x > max_x:
+            x = _clamp(x, min_x, max_x)
+            heading = math.pi - heading
+        if y < min_y or y > max_y:
+            y = _clamp(y, min_y, max_y)
+            heading = -heading
+        self._speed[node_id] = speed
+        self._heading[node_id] = heading % (2.0 * math.pi)
+        self._positions[node_id] = (x, y)
+        return self._positions[node_id]
+
+    def _mean_heading(self, node_id: int) -> float:
+        """Drift target for the heading: steer towards the area centre near walls."""
+        min_x, min_y, max_x, max_y = self.bounds  # type: ignore[misc]
+        x, y = self._positions[node_id]
+        margin_x = 0.1 * (max_x - min_x)
+        margin_y = 0.1 * (max_y - min_y)
+        near_wall = (
+            x < min_x + margin_x
+            or x > max_x - margin_x
+            or y < min_y + margin_y
+            or y > max_y - margin_y
+        )
+        if near_wall:
+            return math.atan2((min_y + max_y) / 2.0 - y, (min_x + max_x) / 2.0 - x)
+        return self._heading[node_id]
+
+
+class TraceMobility(MobilityModel):
+    """Replay recorded position samples with piecewise-linear interpolation.
+
+    ``traces`` maps a node id to a time-sorted list of ``(t_s, x, y)``
+    samples.  Before the first sample a node sits at that sample's
+    position, after the last it stays at the last; nodes without a trace
+    never move.  Useful both for replaying real GPS logs and for writing
+    exactly-scripted test scenarios.
+    """
+
+    def __init__(self, traces: Mapping[int, Sequence[Tuple[float, float, float]]]) -> None:
+        self.traces: Dict[int, List[Tuple[float, float, float]]] = {}
+        for node_id, samples in traces.items():
+            ordered = [(float(t), float(x), float(y)) for t, x, y in samples]
+            if any(b[0] < a[0] for a, b in zip(ordered, ordered[1:])):
+                raise ValueError(f"trace for node {node_id} is not time-sorted")
+            if not ordered:
+                raise ValueError(f"trace for node {node_id} is empty")
+            self.traces[int(node_id)] = ordered
+
+    @property
+    def is_static(self) -> bool:
+        # Any trace — even a constant one — may demand a position that
+        # differs from the node's topology placement, so only a trace-less
+        # player is truly inert.
+        return not self.traces
+
+    def advance(
+        self, node_id: int, now_s: float, dt_s: float, rng: np.random.Generator
+    ) -> Position:
+        samples = self.traces.get(node_id)
+        if not samples:
+            return self._positions[node_id]
+        position = self._interpolate(samples, now_s)
+        self._positions[node_id] = position
+        return position
+
+    @staticmethod
+    def _interpolate(
+        samples: Sequence[Tuple[float, float, float]], now_s: float
+    ) -> Position:
+        if now_s <= samples[0][0]:
+            return (samples[0][1], samples[0][2])
+        if now_s >= samples[-1][0]:
+            return (samples[-1][1], samples[-1][2])
+        for (t0, x0, y0), (t1, x1, y1) in zip(samples, samples[1:]):
+            if t0 <= now_s <= t1:
+                if t1 == t0:
+                    return (x1, y1)
+                fraction = (now_s - t0) / (t1 - t0)
+                return (x0 + (x1 - x0) * fraction, y0 + (y1 - y0) * fraction)
+        return (samples[-1][1], samples[-1][2])  # pragma: no cover - unreachable

@@ -23,7 +23,7 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.phy.error_models import BitErrorModel, FrameErrorResult
 from repro.phy.params import PhyParams
@@ -77,6 +77,8 @@ class WirelessChannel:
         self.stats = ChannelStats()
         self._radios: List[Radio] = []
         self._ids = itertools.count()
+        #: Cached pairwise distances, dropped whenever any radio moves.
+        self._distance_cache: Dict[Tuple[int, int], float] = {}
 
     # ------------------------------------------------------------------
     # Registration
@@ -130,12 +132,29 @@ class WirelessChannel:
         subpacket_bits = [subpacket.bits for subpacket in frame.subpackets]
         return self.error_model.evaluate_frame(frame.header_bits, subpacket_bits, rng)
 
-    @staticmethod
-    def distance(a: Radio, b: Radio) -> float:
-        """Euclidean distance between two radios in metres."""
-        ax, ay = a.position
-        bx, by = b.position
-        return math.hypot(ax - bx, ay - by)
+    def distance(self, a: Radio, b: Radio) -> float:
+        """Euclidean distance between two radios in metres (cached per pair).
+
+        The cache is keyed by the node-id pair and invalidated whenever any
+        radio moves (:meth:`notify_position_changed`), so transmissions
+        always see *current* geometry even mid-run under mobility.
+        """
+        key = (a.node_id, b.node_id) if a.node_id <= b.node_id else (b.node_id, a.node_id)
+        cached = self._distance_cache.get(key)
+        if cached is None:
+            ax, ay = a.position
+            bx, by = b.position
+            cached = math.hypot(ax - bx, ay - by)
+            self._distance_cache[key] = cached
+        return cached
+
+    def notify_position_changed(self, radio: Optional[Radio] = None) -> None:
+        """Invalidate cached per-pair geometry after a mobility update.
+
+        Moves arrive in batches (one mobility tick relocates many nodes), so
+        the whole cache is dropped rather than surgically pruned.
+        """
+        self._distance_cache.clear()
 
     def link_delivery_probability(self, a: Radio, b: Radio, frame_bits: int = 8000) -> float:
         """Expected frame delivery probability on link a→b.

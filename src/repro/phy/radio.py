@@ -65,8 +65,8 @@ class Radio:
 
     def __init__(self, node_id: int, position: tuple[float, float], channel: "WirelessChannel") -> None:
         self.node_id = node_id
-        self.position = position
         self.channel = channel
+        self._position = (float(position[0]), float(position[1]))
         self.mac = None  # attached later by the node wiring
         self.stats = RadioStats()
         self._tx_until: Optional[int] = None
@@ -75,12 +75,37 @@ class Radio:
         self._idle_since: int = 0
         channel.register(self)
 
+    @property
+    def position(self) -> tuple[float, float]:
+        """Current location in metres."""
+        return self._position
+
+    @position.setter
+    def position(self, value: tuple[float, float]) -> None:
+        # Assigning the public attribute must never leave the channel's
+        # per-pair geometry cache stale, so the setter notifies it.
+        self._position = (float(value[0]), float(value[1]))
+        self.channel.notify_position_changed(self)
+
     # ------------------------------------------------------------------
     # Wiring
     # ------------------------------------------------------------------
     def attach_mac(self, mac) -> None:
         """Attach the MAC entity that will receive this radio's callbacks."""
         self.mac = mac
+
+    # ------------------------------------------------------------------
+    # Mobility
+    # ------------------------------------------------------------------
+    def move_to(self, position: tuple[float, float]) -> None:
+        """Relocate this radio (mobility tick).
+
+        Future transmissions — in either direction — use the new position;
+        signals already in flight keep the geometry they were launched
+        with, like a real wavefront.  The position setter notifies the
+        channel so it drops any cached per-pair geometry.
+        """
+        self.position = position
 
     # ------------------------------------------------------------------
     # State queries

@@ -2,6 +2,7 @@
 
 from repro.routing.agent import NetworkAgent
 from repro.routing.base import RouteNotFound, RoutingProtocol
+from repro.routing.dynamic import AdaptiveEtxRouting
 from repro.routing.etx import EtxParams, build_connectivity_graph, link_etx, path_etx
 from repro.routing.mcexor import McExorMac
 from repro.routing.preexor import PreExorMac
@@ -9,6 +10,7 @@ from repro.routing.shortest_path import ShortestPathRouting
 from repro.routing.static import StaticRouting
 
 __all__ = [
+    "AdaptiveEtxRouting",
     "NetworkAgent",
     "RouteNotFound",
     "RoutingProtocol",

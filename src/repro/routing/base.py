@@ -60,6 +60,16 @@ class RoutingProtocol(abc.ABC):
         prioritised = list(reversed(intermediate))
         return tuple(prioritised[: self.max_forwarders])
 
+    def update_graph(self, graph) -> None:
+        """Accept a freshly re-estimated connectivity graph (mobility hook).
+
+        Called periodically by the mobility subsystem after it rebuilds the
+        ETX graph from current positions.  Protocols with predetermined
+        routes (the paper's ROUTE0/1/2 tables) ignore it; graph-driven
+        protocols swap in the new graph and drop cached routes so packets
+        routed from now on see the new link state.
+        """
+
     def route_decision(self, node: int, dst: int, opportunistic: bool) -> RouteDecision:
         """Package the routing answer for the MAC."""
         if opportunistic:

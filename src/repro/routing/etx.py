@@ -11,7 +11,7 @@ channel ``p_f == p_r``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import networkx as nx
 
@@ -28,11 +28,21 @@ class EtxParams:
     probe_bits: int = 8000
 
 
-def link_etx(delivery_probability: float) -> float:
-    """ETX of a link with symmetric delivery probability ``p``."""
-    if delivery_probability <= 0.0:
+def link_etx(delivery_probability: float, reverse_probability: Optional[float] = None) -> float:
+    """ETX of a link: ``1 / (p_f * p_r)`` (De Couto et al.).
+
+    ``delivery_probability`` is the forward delivery probability ``p_f``.
+    When ``reverse_probability`` (``p_r``) is omitted the link is treated
+    as symmetric (``p_r == p_f``) — the stationary-shadowing case this
+    module was originally written for.  Mobility makes asymmetry real
+    (the two directions can be probed at different times/positions), so
+    callers with direction-resolved estimates pass both.
+    """
+    p_forward = delivery_probability
+    p_reverse = delivery_probability if reverse_probability is None else reverse_probability
+    if p_forward <= 0.0 or p_reverse <= 0.0:
         return float("inf")
-    return 1.0 / (delivery_probability * delivery_probability)
+    return 1.0 / (p_forward * p_reverse)
 
 
 def build_connectivity_graph(

@@ -50,3 +50,8 @@ class ShortestPathRouting(RoutingProtocol):
     def invalidate(self) -> None:
         """Drop cached routes (after the graph is modified)."""
         self._cache.clear()
+
+    def update_graph(self, graph: nx.Graph) -> None:
+        """Swap in a re-estimated connectivity graph (mobility hook)."""
+        self.graph = graph
+        self.invalidate()

@@ -3,7 +3,7 @@
 from repro.topology.network import SCHEMES, SchemeInfo, WirelessNetwork
 from repro.topology.node import Node
 from repro.topology.roofnet import roofnet_scenario, roofnet_topology
-from repro.topology.spec import FlowSpec, TopologySpec
+from repro.topology.spec import FlowSpec, TopologyError, TopologySpec
 from repro.topology.standard import fig1_topology, fig5a_topology, fig5b_topology, line_topology
 from repro.topology.wigle import wigle_topology
 
@@ -13,6 +13,7 @@ __all__ = [
     "WirelessNetwork",
     "Node",
     "FlowSpec",
+    "TopologyError",
     "TopologySpec",
     "fig1_topology",
     "fig5a_topology",

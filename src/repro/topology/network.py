@@ -164,6 +164,7 @@ class WirelessNetwork:
         self.nodes: Dict[int, Node] = {}
         self.scheme: Optional[SchemeInfo] = None
         self.routing: Optional[RoutingProtocol] = None
+        self.mobility = None  # MobilityManager once install_mobility runs
 
     # ------------------------------------------------------------------
     # Construction
@@ -203,6 +204,54 @@ class WirelessNetwork:
             if node.network is None:
                 raise RuntimeError("install_stack must be called before install_transport")
             node.transport = TransportHost(self.sim, node.node_id, node.network)
+
+    def install_mobility(self, spec) -> "object":
+        """Attach a mobility subsystem described by a :class:`MobilitySpec`.
+
+        Creates a :class:`~repro.mobility.manager.MobilityManager` fed from
+        the dedicated ``"mobility"`` random stream, wires the periodic link
+        re-estimation hook (rebuild the ETX graph, push it into the routing
+        protocol via :meth:`refresh_routes`), and starts it.  A static spec
+        installs a manager that schedules nothing, so static runs stay
+        bit-identical to builds without mobility.
+
+        Call after :meth:`install_stack` so re-estimation can reach the
+        routing protocol.
+        """
+        from repro.mobility.manager import MobilityManager
+
+        model = spec.build_model()
+        manager = MobilityManager(
+            self.sim,
+            model,
+            self.rng.stream("mobility"),
+            update_interval_ns=seconds(spec.update_interval_s),
+            move_node=self.move_node,
+            mobile_nodes=spec.mobile_nodes,
+        )
+        if spec.reestimate_interval_s > 0:
+            manager.add_reestimation(seconds(spec.reestimate_interval_s), self.refresh_routes)
+        manager.start({node_id: node.position for node_id, node in self.nodes.items()})
+        self.mobility = manager
+        return manager
+
+    def move_node(self, node_id: int, position: Tuple[float, float]) -> None:
+        """Relocate one station (mobility tick or manual repositioning)."""
+        self.nodes[node_id].move_to(position)
+
+    def refresh_routes(self, params: Optional[EtxParams] = None) -> nx.Graph:
+        """Re-estimate links from current positions and refresh routes.
+
+        This is the route-maintenance step of the mobility subsystem: the
+        ETX connectivity graph is rebuilt from where the radios are *now*
+        and handed to the routing protocol's ``update_graph`` hook, so both
+        next-hop and opportunistic forwarder-list queries made afterwards
+        reflect the new link state.
+        """
+        graph = self.connectivity_graph(params)
+        if self.routing is not None:
+            self.routing.update_graph(graph)
+        return graph
 
     # ------------------------------------------------------------------
     # Queries

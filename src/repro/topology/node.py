@@ -27,6 +27,12 @@ class Node:
     def __post_init__(self) -> None:
         self.position = (float(self.position[0]), float(self.position[1]))
 
+    def move_to(self, position: Tuple[float, float]) -> None:
+        """Relocate the station, keeping its radio's geometry in sync."""
+        self.position = (float(position[0]), float(position[1]))
+        if self.radio is not None:
+            self.radio.move_to(self.position)
+
     def distance_to(self, other: "Node") -> float:
         """Euclidean distance to another node in metres."""
         dx = self.position[0] - other.position[0]

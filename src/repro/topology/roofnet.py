@@ -63,7 +63,7 @@ def roofnet_topology(seed: int = 7) -> TopologySpec:
         flows=[],
         route_sets={},
         description="Synthetic Roofnet-like topology (Fig. 11 substitute).",
-    )
+    ).validate()
 
 
 def connectivity_from_positions(
@@ -180,4 +180,4 @@ def roofnet_scenario(
                 routes[(hidden_src, hidden_dst)] = [hidden_src, hidden_dst]
     spec.flows = flows
     spec.route_sets = {"ROUTE0": routes}
-    return spec
+    return spec.validate()

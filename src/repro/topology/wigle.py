@@ -74,7 +74,7 @@ def wigle_topology(include_hidden: bool = True) -> TopologySpec:
         flows=flows,
         route_sets={"ROUTE0": routes},
         description="Wigle AP topology of Fig. 9 (reconstructed) with hidden pair S, R.",
-    )
+    ).validate()
 
 
 def wigle_flow_paths() -> List[str]:

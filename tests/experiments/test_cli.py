@@ -1,0 +1,54 @@
+"""The ``python -m repro.experiments`` CLI: list, run, and cache-only report."""
+
+import pytest
+
+from repro.experiments.__main__ import EXPERIMENTS, main
+
+
+class TestList:
+    def test_list_includes_mobility_family(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "mobility-tcp" in out and "mobility-voip" in out
+
+    def test_registry_covers_paper_and_extras(self):
+        for name in ("fig3", "table3", "mobility-tcp", "mobility-voip"):
+            assert name in EXPERIMENTS
+
+
+class TestRun:
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestReport:
+    def test_report_on_cold_cache_fails_without_simulating(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["report", "mobility-tcp", "--duration", "0.05"]) == 3
+        err = capsys.readouterr().err
+        assert "not in the result cache" in err
+        assert "run mobility-tcp" in err
+        # Nothing was simulated: the cache directory stayed empty.
+        assert not any(tmp_path.rglob("*.json"))
+
+    def test_report_renders_after_run(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        # Tiny grid: wrap the entry point so the CLI sweeps a single cell
+        # (default arguments were bound at def time, so patching the
+        # module-level constants would not shrink anything).
+        import repro.experiments.mobility as mobility
+
+        full_run = mobility.run_mobility_tcp
+        monkeypatch.setattr(
+            mobility,
+            "run_mobility_tcp",
+            lambda **kwargs: full_run(speeds=(0.0,), schemes=("D",), **kwargs),
+        )
+        assert main(["run", "mobility-tcp", "--duration", "0.05"]) == 0
+        run_out = capsys.readouterr().out
+        assert "Mobility — TCP" in run_out
+        assert main(["report", "mobility-tcp", "--duration", "0.05"]) == 0
+        report_out = capsys.readouterr().out
+        assert "Mobility — TCP" in report_out
+        assert "0 simulated" in report_out

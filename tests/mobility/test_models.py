@@ -1,0 +1,205 @@
+"""Mobility models: determinism, bounds, static degeneration, trace playback."""
+
+import math
+
+import pytest
+
+from repro.mobility.models import (
+    GaussMarkov,
+    RandomWaypoint,
+    StaticMobility,
+    TraceMobility,
+    bounds_from_positions,
+)
+from repro.sim.rng import RandomStreams
+
+POSITIONS = {0: (0.0, 0.0), 1: (100.0, 0.0), 2: (50.0, 80.0)}
+BOUNDS = (-50.0, -50.0, 150.0, 150.0)
+
+
+def trajectory(model, seed=5, steps=40, dt=0.1):
+    """Advance every node ``steps`` times; returns {node: [positions...]}."""
+    rng = RandomStreams(seed=seed).stream("mobility")
+    model.setup(POSITIONS, rng)
+    out = {node_id: [] for node_id in POSITIONS}
+    for step in range(1, steps + 1):
+        for node_id in sorted(POSITIONS):
+            out[node_id].append(model.advance(node_id, step * dt, dt, rng))
+    return out
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: RandomWaypoint(1.0, 5.0, pause_s=0.2, bounds=BOUNDS),
+            lambda: GaussMarkov(3.0, bounds=BOUNDS),
+        ],
+        ids=["random_waypoint", "gauss_markov"],
+    )
+    def test_same_seed_same_trajectory(self, factory):
+        assert trajectory(factory(), seed=5) == trajectory(factory(), seed=5)
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: RandomWaypoint(1.0, 5.0, bounds=BOUNDS),
+            lambda: GaussMarkov(3.0, bounds=BOUNDS),
+        ],
+        ids=["random_waypoint", "gauss_markov"],
+    )
+    def test_different_seed_different_trajectory(self, factory):
+        assert trajectory(factory(), seed=5) != trajectory(factory(), seed=6)
+
+
+class TestStaticDegeneration:
+    def test_static_model_never_moves(self):
+        model = StaticMobility()
+        assert model.is_static
+        traj = trajectory(model)
+        for node_id, steps in traj.items():
+            assert all(step == POSITIONS[node_id] for step in steps)
+
+    def test_zero_speed_random_waypoint_is_static(self):
+        model = RandomWaypoint(0.0, 0.0)
+        assert model.is_static
+        traj = trajectory(model)
+        for node_id, steps in traj.items():
+            assert all(step == POSITIONS[node_id] for step in steps)
+
+    def test_zero_speed_gauss_markov_is_static(self):
+        assert GaussMarkov(mean_speed_mps=0.0, speed_std_mps=0.0).is_static
+        assert not GaussMarkov(mean_speed_mps=0.0, speed_std_mps=1.0).is_static
+
+    def test_only_traceless_player_is_static(self):
+        # A constant trace still pins its node to the traced position, which
+        # may differ from the topology placement — it must keep ticking.
+        assert TraceMobility({}).is_static
+        assert not TraceMobility({0: [(0.0, 5.0, 5.0), (1.0, 5.0, 5.0)]}).is_static
+        assert not TraceMobility({0: [(0.0, 5.0, 5.0), (1.0, 6.0, 5.0)]}).is_static
+
+    def test_constant_trace_moves_node_to_traced_position(self):
+        model = TraceMobility({0: [(0.0, 50.0, 50.0)]})
+        rng = RandomStreams(seed=1).stream("mobility")
+        model.setup({0: (0.0, 0.0)}, rng)
+        assert model.advance(0, 0.1, 0.1, rng) == (50.0, 50.0)
+
+
+class TestRandomWaypoint:
+    def test_positions_stay_in_bounds(self):
+        traj = trajectory(RandomWaypoint(1.0, 10.0, bounds=BOUNDS), steps=200)
+        min_x, min_y, max_x, max_y = BOUNDS
+        for steps in traj.values():
+            for x, y in steps:
+                assert min_x - 1e-9 <= x <= max_x + 1e-9
+                assert min_y - 1e-9 <= y <= max_y + 1e-9
+
+    def test_step_length_bounded_by_max_speed(self):
+        dt = 0.1
+        model = RandomWaypoint(1.0, 5.0, bounds=BOUNDS)
+        rng = RandomStreams(seed=9).stream("mobility")
+        model.setup(POSITIONS, rng)
+        x, y = model.position(0)
+        for step in range(1, 100):
+            nx_, ny_ = model.advance(0, step * dt, dt, rng)
+            assert math.hypot(nx_ - x, ny_ - y) <= 5.0 * dt + 1e-9
+            x, y = nx_, ny_
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RandomWaypoint(5.0, 1.0)  # min > max
+        with pytest.raises(ValueError):
+            RandomWaypoint(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            RandomWaypoint(0.0, 1.0, pause_s=-2.0)
+
+    def test_bounds_default_to_padded_bbox(self):
+        model = RandomWaypoint(1.0, 2.0)
+        model.setup(POSITIONS, RandomStreams(seed=1).stream("mobility"))
+        assert model.bounds == bounds_from_positions(POSITIONS)
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValueError, match="min <= max"):
+            RandomWaypoint(1.0, 2.0, bounds=(10.0, 0.0, 0.0, 10.0))
+
+    def test_degenerate_zero_area_bounds_terminate(self):
+        # Every waypoint lands on the node itself; a zero-length leg must
+        # consume time instead of spinning the advance loop forever.
+        model = RandomWaypoint(1.0, 1.0, pause_s=0.0, bounds=(5.0, 5.0, 5.0, 5.0))
+        rng = RandomStreams(seed=1).stream("mobility")
+        model.setup({0: (5.0, 5.0)}, rng)
+        for step in range(1, 6):
+            assert model.advance(0, step * 0.1, 0.1, rng) == (5.0, 5.0)
+
+
+class TestGaussMarkov:
+    def test_positions_stay_in_bounds(self):
+        traj = trajectory(GaussMarkov(8.0, bounds=BOUNDS), steps=300)
+        min_x, min_y, max_x, max_y = BOUNDS
+        for steps in traj.values():
+            for x, y in steps:
+                assert min_x - 1e-9 <= x <= max_x + 1e-9
+                assert min_y - 1e-9 <= y <= max_y + 1e-9
+
+    def test_alpha_one_keeps_speed_constant(self):
+        # alpha=1 is full memory: speed never changes from its mean start value.
+        dt = 0.5
+        model = GaussMarkov(4.0, alpha=1.0, bounds=(-1e6, -1e6, 1e6, 1e6))
+        rng = RandomStreams(seed=3).stream("mobility")
+        model.setup(POSITIONS, rng)
+        x, y = model.position(1)
+        for step in range(1, 20):
+            nx_, ny_ = model.advance(1, step * dt, dt, rng)
+            assert math.hypot(nx_ - x, ny_ - y) == pytest.approx(4.0 * dt)
+            x, y = nx_, ny_
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            GaussMarkov(1.0, alpha=1.5)
+        with pytest.raises(ValueError):
+            GaussMarkov(-1.0)
+
+    def test_wall_steering_crosses_the_angle_seam(self):
+        # Heading just below 2*pi, steer target ~0: the blend must nudge
+        # across the 0/2-pi seam (short way), not swing ~40 degrees the
+        # long way round as a raw-radian average would.
+        model = GaussMarkov(
+            2.0, alpha=0.9, speed_std_mps=0.0, heading_std_rad=0.0,
+            bounds=(0.0, 0.0, 100.0, 100.0),
+        )
+        rng = RandomStreams(seed=1).stream("mobility")
+        model.setup({0: (5.0, 50.0)}, rng)  # inside the left wall margin
+        model._heading[0] = 2.0 * math.pi - 0.05
+        model.advance(0, 0.1, 0.1, rng)
+        # steer target is atan2(0, 45) = 0; wrapped difference is +0.05, so
+        # the heading moves by (1 - alpha) * 0.05 towards it.
+        change = math.remainder(model._heading[0] - (2.0 * math.pi - 0.05), 2.0 * math.pi)
+        assert change == pytest.approx(0.1 * 0.05)
+
+
+class TestTraceMobility:
+    def test_piecewise_linear_interpolation(self):
+        model = TraceMobility({0: [(0.0, 0.0, 0.0), (1.0, 10.0, 20.0)]})
+        rng = RandomStreams(seed=1).stream("mobility")
+        model.setup({0: (0.0, 0.0)}, rng)
+        assert model.advance(0, 0.5, 0.5, rng) == pytest.approx((5.0, 10.0))
+        assert model.advance(0, 1.0, 0.5, rng) == pytest.approx((10.0, 20.0))
+
+    def test_clamped_before_and_after_trace(self):
+        model = TraceMobility({0: [(1.0, 3.0, 4.0), (2.0, 30.0, 40.0)]})
+        rng = RandomStreams(seed=1).stream("mobility")
+        model.setup({0: (0.0, 0.0)}, rng)
+        assert model.advance(0, 0.5, 0.5, rng) == (3.0, 4.0)   # before first sample
+        assert model.advance(0, 9.0, 0.5, rng) == (30.0, 40.0)  # after last sample
+
+    def test_node_without_trace_stays_put(self):
+        model = TraceMobility({0: [(0.0, 0.0, 0.0), (1.0, 10.0, 0.0)]})
+        rng = RandomStreams(seed=1).stream("mobility")
+        model.setup({0: (0.0, 0.0), 1: (7.0, 7.0)}, rng)
+        assert model.advance(1, 0.5, 0.5, rng) == (7.0, 7.0)
+
+    def test_malformed_traces_rejected(self):
+        with pytest.raises(ValueError, match="not time-sorted"):
+            TraceMobility({0: [(1.0, 0.0, 0.0), (0.5, 1.0, 1.0)]})
+        with pytest.raises(ValueError, match="empty"):
+            TraceMobility({0: []})

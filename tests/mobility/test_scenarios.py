@@ -1,0 +1,160 @@
+"""End-to-end mobility scenarios: static parity, cache/parallel parity, re-routing."""
+
+import json
+
+import pytest
+
+from repro.experiments.parallel import ResultCache, SweepRunner
+from repro.experiments.runner import ScenarioConfig, run_scenario
+from repro.mobility import MobilitySpec
+from repro.phy.error_models import BitErrorModel
+from repro.routing.dynamic import AdaptiveEtxRouting
+from repro.routing.static import StaticRouting
+from repro.topology.network import WirelessNetwork
+from repro.topology.standard import fig1_topology
+
+
+def fig1_config(mobility=None, **overrides):
+    defaults = dict(
+        topology=fig1_topology(),
+        scheme_label="R16",
+        active_flows=[1],
+        duration_s=0.05,
+        seed=2,
+        mobility=mobility,
+    )
+    defaults.update(overrides)
+    return ScenarioConfig(**defaults)
+
+
+def sim_outcome(result):
+    """Result dict minus the config (configs legitimately differ by the mobility field)."""
+    data = result.to_dict()
+    data.pop("config")
+    return data
+
+
+class TestStaticParity:
+    """speed=0 must cost nothing: same events, same bytes, same everything."""
+
+    @pytest.mark.parametrize("scheme", ["D", "A", "R16", "preExOR"])
+    def test_static_spec_is_bit_identical_to_no_mobility(self, scheme):
+        baseline = run_scenario(fig1_config(scheme_label=scheme))
+        static = run_scenario(fig1_config(MobilitySpec(), scheme_label=scheme))
+        assert sim_outcome(static) == sim_outcome(baseline)
+
+    def test_zero_speed_waypoint_is_bit_identical_to_no_mobility(self):
+        baseline = run_scenario(fig1_config())
+        zero = run_scenario(fig1_config(MobilitySpec.random_waypoint(0.0)))
+        assert sim_outcome(zero) == sim_outcome(baseline)
+
+    def test_live_mobility_changes_the_simulation(self):
+        baseline = run_scenario(fig1_config())
+        mobile = run_scenario(fig1_config(MobilitySpec.random_waypoint(10.0)))
+        assert mobile.events_processed != baseline.events_processed
+
+
+class TestDeterminismAndParity:
+    def test_mobile_scenario_is_deterministic(self):
+        config = fig1_config(MobilitySpec.random_waypoint(10.0))
+        assert run_scenario(config).to_dict() == run_scenario(config).to_dict()
+
+    def test_parallel_equals_serial_with_mobility(self):
+        configs = [
+            fig1_config(MobilitySpec.random_waypoint(speed), seed=seed)
+            for speed in (0.0, 5.0)
+            for seed in (1, 2)
+        ]
+        serial = SweepRunner(jobs=1).run(configs)
+        parallel = SweepRunner(jobs=4).run(configs)
+        assert [r.to_dict() for r in parallel] == [r.to_dict() for r in serial]
+
+    def test_cached_mobile_result_equals_fresh(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        config = fig1_config(MobilitySpec.gauss_markov(5.0))
+        fresh = SweepRunner(cache=cache).run_one(config)
+        assert cache.misses == 1
+        cached = SweepRunner(cache=cache).run_one(config)
+        assert cache.hits == 1
+        assert cached.to_dict() == fresh.to_dict()
+        # The cached payload survives a JSON round-trip of the mobility field.
+        rebuilt = ScenarioConfig.from_dict(json.loads(json.dumps(config.to_dict())))
+        assert rebuilt.mobility.to_dict() == config.mobility.to_dict()
+
+
+class TestMidRunRerouting:
+    """A moving relay must change the routes/forwarder lists packets see."""
+
+    def build_network(self):
+        # 0 -- 1 -- 3 line with node 2 parked far away as the alternative relay.
+        net = WirelessNetwork(error_model=BitErrorModel(1e-6), seed=3)
+        net.add_node(0, (0.0, 0.0))
+        net.add_node(1, (115.0, 10.0))
+        net.add_node(2, (115.0, -300.0))
+        net.add_node(3, (230.0, 0.0))
+        static = StaticRouting({(0, 3): [0, 1, 3]})
+        routing = AdaptiveEtxRouting(net.connectivity_graph(), fallback=static)
+        return net, routing
+
+    def swap_relays_spec(self):
+        # Node 1 wanders out of range while node 2 moves into the relay slot.
+        return MobilitySpec.trace(
+            {
+                1: [(0.0, 115.0, 10.0), (0.5, 115.0, 800.0)],
+                2: [(0.0, 115.0, -300.0), (0.5, 115.0, -5.0)],
+            },
+            update_interval_s=0.05,
+            reestimate_interval_s=0.1,
+        )
+
+    def test_opportunistic_scheme_reroutes_after_reestimation(self):
+        net, routing = self.build_network()
+        net.install_stack("ripple", routing)  # R16: opportunistic forwarder lists
+        net.install_transport()
+        path_before = routing.path(0, 3)
+        forwarders_before = routing.forwarder_list(0, 3)
+        net.install_mobility(self.swap_relays_spec())
+        net.run_seconds(1.0)
+        path_after = routing.path(0, 3)
+        forwarders_after = routing.forwarder_list(0, 3)
+        assert path_before == [0, 1, 3] and forwarders_before == (1,)
+        assert path_after == [0, 2, 3] and forwarders_after == (2,)
+        assert routing.updates > 0
+        assert net.mobility.reestimations > 0
+
+    def test_direct_position_assignment_invalidates_distance_cache(self):
+        net, routing = self.build_network()
+        a, b = net.node(0).radio, net.node(1).radio
+        before = net.channel.distance(a, b)
+        b.position = (500.0, 0.0)  # public attribute, not move_to
+        assert net.channel.distance(a, b) != before
+
+    def test_radio_positions_track_node_moves(self):
+        net, routing = self.build_network()
+        net.install_stack("dcf", routing)
+        net.install_transport()
+        net.install_mobility(self.swap_relays_spec())
+        distance_before = net.channel.distance(net.node(0).radio, net.node(1).radio)
+        net.run_seconds(1.0)
+        # Node objects and radios moved together, and the distance cache noticed.
+        assert net.node(1).position[1] == pytest.approx(800.0)
+        assert net.node(1).radio.position == net.node(1).position
+        distance_after = net.channel.distance(net.node(0).radio, net.node(1).radio)
+        assert distance_after > distance_before
+
+    def test_scenario_runner_picks_up_adaptive_routing(self):
+        # Through run_scenario: a live spec swaps in AdaptiveEtxRouting and the
+        # run completes, re-estimating along the way.
+        from repro.experiments.runner import build_network
+
+        config = fig1_config(
+            MobilitySpec.random_waypoint(
+                10.0, update_interval_s=0.02, reestimate_interval_s=0.05
+            ),
+            duration_s=0.2,
+        )
+        network, routing = build_network(config)
+        assert isinstance(routing, AdaptiveEtxRouting)
+        network.run_seconds(config.duration_s)
+        assert network.mobility is not None
+        assert network.mobility.reestimations > 0

@@ -1,0 +1,117 @@
+"""MobilitySpec serialization, validation, and cache-key integration."""
+
+import json
+
+import pytest
+
+from repro.experiments.parallel import config_digest
+from repro.experiments.runner import ScenarioConfig
+from repro.mobility.models import GaussMarkov, RandomWaypoint, StaticMobility, TraceMobility
+from repro.mobility.spec import MobilitySpec
+from repro.topology.standard import fig1_topology
+
+
+def roundtrip(spec: MobilitySpec) -> MobilitySpec:
+    return MobilitySpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            MobilitySpec(),
+            MobilitySpec.random_waypoint(5.0, pause_s=1.0, bounds=(0.0, 0.0, 100.0, 100.0)),
+            MobilitySpec.random_waypoint(0.0),
+            MobilitySpec.gauss_markov(2.0, alpha=0.9),
+            MobilitySpec.trace({3: [(0.0, 1.0, 2.0), (1.0, 3.0, 4.0)]}),
+            MobilitySpec.random_waypoint(3.0, mobile_nodes=[2, 0]),
+        ],
+        ids=["static", "rwp", "rwp-zero", "gauss_markov", "trace", "filtered"],
+    )
+    def test_to_dict_from_dict_lossless(self, spec):
+        rebuilt = roundtrip(spec)
+        assert rebuilt.to_dict() == spec.to_dict()
+        # And the rebuilt spec builds an equivalent model.
+        assert type(rebuilt.build_model()) is type(spec.build_model())
+        assert rebuilt.is_static == spec.is_static
+
+    def test_mobile_nodes_serialized_sorted(self):
+        spec = MobilitySpec.random_waypoint(3.0, mobile_nodes=[5, 1, 3])
+        assert spec.to_dict()["mobile_nodes"] == [1, 3, 5]
+
+
+class TestValidation:
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown mobility model"):
+            MobilitySpec(model="teleport")
+
+    def test_bad_intervals_rejected(self):
+        with pytest.raises(ValueError):
+            MobilitySpec(update_interval_s=0.0)
+        with pytest.raises(ValueError):
+            MobilitySpec(reestimate_interval_s=-1.0)
+
+    def test_static_with_parameters_rejected(self):
+        with pytest.raises(ValueError, match="no parameters"):
+            MobilitySpec(model="static", params={"speed": 3}).build_model()
+
+    def test_empty_mobile_node_filter_is_static(self):
+        # An explicit empty allow-list pins every node: physically identical
+        # to a static run, so it must take the static (bit-identical) path.
+        assert MobilitySpec.random_waypoint(5.0, mobile_nodes=[]).is_static
+        assert not MobilitySpec.random_waypoint(5.0, mobile_nodes=[1]).is_static
+        assert not MobilitySpec.random_waypoint(5.0, mobile_nodes=None).is_static
+
+    def test_unknown_model_parameters_rejected(self):
+        # A typo'd key must fail loudly, not silently fall back to defaults.
+        with pytest.raises(ValueError, match="unknown random_waypoint"):
+            MobilitySpec(model="random_waypoint", params={"speed_mps": 10.0}).build_model()
+        with pytest.raises(ValueError, match="unknown gauss_markov"):
+            MobilitySpec(model="gauss_markov", params={"alpah": 0.9}).build_model()
+
+    def test_build_model_types(self):
+        assert isinstance(MobilitySpec().build_model(), StaticMobility)
+        assert isinstance(MobilitySpec.random_waypoint(1.0).build_model(), RandomWaypoint)
+        assert isinstance(MobilitySpec.gauss_markov(1.0).build_model(), GaussMarkov)
+        assert isinstance(
+            MobilitySpec.trace({0: [(0.0, 0.0, 0.0)]}).build_model(), TraceMobility
+        )
+
+
+class TestScenarioConfigIntegration:
+    def config(self, mobility=None):
+        return ScenarioConfig(
+            topology=fig1_topology(),
+            scheme_label="R16",
+            active_flows=[1],
+            duration_s=0.05,
+            seed=2,
+            mobility=mobility,
+        )
+
+    def test_config_roundtrip_with_mobility(self):
+        config = self.config(MobilitySpec.random_waypoint(5.0))
+        rebuilt = ScenarioConfig.from_dict(json.loads(json.dumps(config.to_dict())))
+        assert rebuilt.to_dict() == config.to_dict()
+        assert config_digest(rebuilt) == config_digest(config)
+
+    def test_config_without_mobility_still_roundtrips(self):
+        config = self.config()
+        rebuilt = ScenarioConfig.from_dict(json.loads(json.dumps(config.to_dict())))
+        assert rebuilt.mobility is None
+        assert rebuilt.to_dict() == config.to_dict()
+
+    def test_digest_distinguishes_mobility(self):
+        none = config_digest(self.config())
+        static = config_digest(self.config(MobilitySpec()))
+        slow = config_digest(self.config(MobilitySpec.random_waypoint(1.0)))
+        fast = config_digest(self.config(MobilitySpec.random_waypoint(10.0)))
+        assert len({none, static, slow, fast}) == 4
+
+    def test_schema_version_invalidates_old_entries(self, monkeypatch):
+        import repro.experiments.parallel as parallel
+
+        config = self.config()
+        current = config_digest(config)
+        monkeypatch.setattr(parallel, "CACHE_SCHEMA_VERSION", 1)
+        assert config_digest(config) != current

@@ -42,6 +42,19 @@ class TestLinkEtx:
         values = [link_etx(p) for p in (0.9, 0.7, 0.5, 0.3)]
         assert values == sorted(values)
 
+    def test_asymmetric_link(self):
+        # 1 / (p_f * p_r), De Couto et al.
+        assert link_etx(0.5, 0.8) == pytest.approx(1.0 / (0.5 * 0.8))
+        assert link_etx(0.8, 0.5) == pytest.approx(link_etx(0.5, 0.8))
+
+    def test_asymmetric_reduces_to_symmetric(self):
+        for p in (0.3, 0.5, 0.9, 1.0):
+            assert link_etx(p, p) == pytest.approx(link_etx(p))
+
+    def test_asymmetric_dead_direction(self):
+        assert math.isinf(link_etx(0.9, 0.0))
+        assert math.isinf(link_etx(0.0, 0.9))
+
 
 class TestConnectivityGraph:
     def test_close_nodes_are_connected(self):
