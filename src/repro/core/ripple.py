@@ -44,6 +44,7 @@ from repro.packet import Packet
 from repro.phy.params import PhyParams
 from repro.phy.radio import Radio
 from repro.sim.engine import Event, Simulator
+from repro.sim.rng import RandomStreams
 
 
 @dataclass
@@ -111,17 +112,20 @@ class RippleMac(MacLayer):
         radio: Radio,
         phy: PhyParams,
         timing: MacTiming,
-        rng: np.random.Generator,
+        rng: "np.random.Generator | RandomStreams",
         max_aggregation: int = 16,
         aggregate_local_traffic: bool = True,
     ) -> None:
+        # A RandomStreams registry is resolved by MacLayer into this
+        # station's keyed "mac" substream; the only randomness RIPPLE itself
+        # consumes is the DCF backoff of its source-side channel access.
         super().__init__(sim, address, radio, phy, timing, rng)
         self.max_aggregation = max(1, int(max_aggregation))
         self.aggregate_local_traffic = aggregate_local_traffic
         self.queue = DropTailQueue(capacity=timing.queue_capacity)  # the paper's Sq
         self.reorder = ReorderBuffer()  # the paper's Rq
         self.ripple_stats = RippleStats()
-        self.access = ChannelAccess(sim, radio, timing, rng, self._on_access_granted)
+        self.access = ChannelAccess(sim, radio, timing, self.rng, self._on_access_granted)
         self.add_busy_listener(self._on_busy_for_relays)
         self.add_idle_listener(self._on_idle_for_relays)
         self.add_busy_listener(self.access.notify_busy)

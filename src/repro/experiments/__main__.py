@@ -18,6 +18,12 @@ Re-render a completed experiment's tables *without* simulating anything
     python -m repro.experiments report fig3
     python -m repro.experiments report mobility-tcp --seeds 3
 
+Time the simulator itself on a fixed scenario matrix and write a
+``BENCH_<rev>.json`` performance baseline (see :mod:`repro.experiments.bench`)::
+
+    python -m repro.experiments bench
+    python -m repro.experiments bench --quick --output bench.json
+
 Results are rendered as the aligned text tables of
 :mod:`repro.experiments.report`; a cache summary (hits/misses) is printed
 at the end.  The cache lives under ``.repro-cache`` (override with
@@ -282,6 +288,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-render completed experiments from the cache (never simulates)",
         parents=[shared],
     )
+    bench = sub.add_parser(
+        "bench",
+        help="time the simulator on a fixed scenario matrix, write BENCH_<rev>.json",
+    )
+    from repro.experiments.bench import add_bench_arguments
+
+    add_bench_arguments(bench)
     return parser
 
 
@@ -292,6 +305,11 @@ def main(argv: Optional[list] = None) -> int:
         for name, exp in EXPERIMENTS.items():
             print(f"{name:<{width}}  {exp.description}")
         return 0
+
+    if args.command == "bench":
+        from repro.experiments.bench import run_bench_cli
+
+        return run_bench_cli(args)
 
     names = list(EXPERIMENTS) if "all" in args.names else args.names
     unknown = [name for name in names if name not in EXPERIMENTS]

@@ -255,7 +255,7 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
                 network.sim, src_host, flow.flow_id, flow.dst, awnd_segments=config.tcp_window
             )
             sink = TcpSink(network.sim, dst_host, flow.flow_id, peer=flow.src)
-            web = WebFlow(network.sim, sender, network.rng.stream(f"web-{flow.flow_id}"))
+            web = WebFlow(network.sim, sender, network.rng.stream_for("web", flow.flow_id))
             web.start()
             sinks[flow.flow_id] = sink
             senders[flow.flow_id] = sender
@@ -273,7 +273,7 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
                 network.sim,
                 udp_sender,
                 receiver,
-                network.rng.stream(f"voip-{flow.flow_id}"),
+                network.rng.stream_for("voip", flow.flow_id),
             )
             voip.start()
             receivers[flow.flow_id] = receiver

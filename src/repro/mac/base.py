@@ -28,6 +28,7 @@ from repro.packet import Packet
 from repro.phy.params import PhyParams
 from repro.phy.radio import Radio
 from repro.sim.engine import Event, Simulator
+from repro.sim.rng import RandomStreams
 
 
 @dataclass(frozen=True)
@@ -167,13 +168,19 @@ class MacLayer(abc.ABC):
         radio: Radio,
         phy: PhyParams,
         timing: MacTiming,
-        rng: np.random.Generator,
+        rng: "np.random.Generator | RandomStreams",
     ) -> None:
         self.sim = sim
         self.address = address
         self.radio = radio
         self.phy = phy
         self.timing = timing
+        if isinstance(rng, RandomStreams):
+            # Preferred wiring: hand the MAC the whole keyed registry and let
+            # it derive its per-station backoff stream, so the draw sequence
+            # depends only on (seed, address) — never on how many stations
+            # exist or in which order their stacks were built.
+            rng = rng.stream_for("mac", address)
         self.rng = rng
         self.stats = MacStats()
         self._upper_layer: Optional[Callable[[Packet], None]] = None

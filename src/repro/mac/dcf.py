@@ -51,7 +51,7 @@ class DcfMac(MacLayer):
         super().__init__(sim, address, radio, phy, timing, rng)
         self.max_aggregation = max(1, int(max_aggregation))
         self.queue = DropTailQueue(capacity=timing.queue_capacity)
-        self.access = ChannelAccess(sim, radio, timing, rng, self._on_access_granted)
+        self.access = ChannelAccess(sim, radio, timing, self.rng, self._on_access_granted)
         self.add_busy_listener(self.access.notify_busy)
         self.add_idle_listener(self.access.notify_idle)
         self._mac_seq: Dict[int, int] = {}

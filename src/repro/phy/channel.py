@@ -16,6 +16,21 @@ Roofnet scenarios.
 
 Bit errors (the i.i.d. BER model) are applied at reception completion by
 the receiving radio via :meth:`WirelessChannel.apply_bit_errors`.
+
+Hot-path design
+---------------
+Dispatch is O(degree), not O(radios).  Per sender the channel keeps a
+*candidate receiver list*: the radios whose deterministic path-loss power
+plus the maximum possible shadowing fade (the propagation model bounds
+its draws at ``max_deviation_sigmas``) still reaches the carrier-sense
+threshold.  Everything else provably cannot sense the frame, so skipping
+it is exact, not approximate.  Skipping is only sound because every link
+draws fading and bit errors from its *own* keyed RNG stream
+(:meth:`~repro.sim.rng.RandomStreams.stream_for`) — with the old single
+shared stream, culling one receiver would have shifted every other
+link's sample path.  Candidate lists carry the link's precomputed
+distance and generator and are invalidated whenever any radio moves or
+registers.
 """
 
 from __future__ import annotations
@@ -25,6 +40,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.phy.error_models import BitErrorModel, FrameErrorResult
 from repro.phy.params import PhyParams
 from repro.phy.propagation import ShadowingPropagation, propagation_delay_ns
@@ -32,8 +49,54 @@ from repro.phy.radio import Radio, Reception
 from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
 
+class _LinkFadeStream:
+    """Buffered, bounded shadowing draws for one (sender, receiver) link.
 
-@dataclass
+    Scalar ``Generator.normal()`` calls cost ~1.5 us each in numpy call
+    overhead; drawing a batch and serving it element-wise produces the
+    *identical* value sequence (numpy fills vectorised draws from the same
+    bit stream in order) at a fraction of the cost.  The buffer belongs to
+    the link's keyed RNG stream, not to the candidate cache: geometry
+    invalidation rebuilds candidate lists but keeps these objects, so a
+    link's fade sample path never depends on when radios happened to move.
+    """
+
+    BATCH = 64
+
+    __slots__ = ("generator", "sigma", "bound", "_buffer", "_index")
+
+    def __init__(self, generator: np.random.Generator, sigma: float, bound: float) -> None:
+        self.generator = generator
+        self.sigma = sigma
+        self.bound = bound
+        self._buffer = None
+        self._index = 0
+
+    def next_db(self) -> float:
+        """The link's next bounded fade, in dB (a plain Python float).
+
+        The batch is converted with ``tolist()`` once per refill: serving
+        native floats keeps the per-frame power arithmetic and threshold
+        compares out of numpy scalar dispatch.
+        """
+        index = self._index
+        buffer = self._buffer
+        if buffer is None or index >= self.BATCH:
+            draws = self.generator.normal(0.0, self.sigma, self.BATCH)
+            np.clip(draws, -self.bound, self.bound, out=draws)
+            buffer = draws.tolist()
+            self._buffer = buffer
+            index = 0
+        self._index = index + 1
+        return buffer[index]
+
+
+#: One precomputed dispatch target:
+#: (radio, mean received power dBm, propagation delay ns, per-link fades).
+_Candidate = Tuple[Radio, float, int, _LinkFadeStream]
+
+
+@dataclass(slots=True)
 class Transmission:
     """A frame in flight on the medium."""
 
@@ -59,6 +122,18 @@ class ChannelStats:
 class WirelessChannel:
     """Shared wireless medium connecting every radio in the scenario."""
 
+    #: Hard cap on cached per-pair distances; reached only by scenarios with
+    #: thousands of stations, where a rare full drop is cheaper than growth.
+    DISTANCE_CACHE_MAX = 1 << 16
+
+    #: Hard cap on per-link fade buffers (each ~1 KB: a Generator plus a
+    #: 64-float batch).  Overflow drops the whole table: the keyed stream
+    #: registry retains every generator's state, so surviving links resume
+    #: their sample paths minus any unserved buffered draws — a
+    #: deterministic (same-seed-same-everything) but real perturbation,
+    #: which is why the cap is far above any current workload's link count.
+    LINK_FADES_MAX = 1 << 16
+
     def __init__(
         self,
         sim: Simulator,
@@ -79,16 +154,35 @@ class WirelessChannel:
         self._ids = itertools.count()
         #: Cached pairwise distances, dropped whenever any radio moves.
         self._distance_cache: Dict[Tuple[int, int], float] = {}
+        #: Per-sender candidate receiver lists (see module docstring).
+        self._candidates: Dict[int, List[_Candidate]] = {}
+        #: Per-link fade buffers; keyed by (sender, receiver) node ids and
+        #: deliberately *not* geometry-invalidated (fades are i.i.d. per
+        #: frame, so they stay valid when stations move).
+        self._link_fades: Dict[Tuple[int, int], _LinkFadeStream] = {}
 
     # ------------------------------------------------------------------
     # Registration
     # ------------------------------------------------------------------
     def register(self, radio: Radio) -> None:
-        """Add a radio to the medium (called from ``Radio.__init__``)."""
+        """Add a radio to the medium (called from ``Radio.__init__``).
+
+        Registration invalidates the cached geometry: candidate lists must
+        learn about the newcomer, and a reused node id must not resurrect a
+        previous radio's cached distances.
+        """
         self._radios.append(radio)
+        self._invalidate_geometry()
 
     @property
     def radios(self) -> List[Radio]:
+        """Registered radios, as a defensive copy.
+
+        External callers may mutate the returned list freely; the
+        per-transmission hot path never goes through this property (it
+        would pay an O(N) copy per frame) — it iterates the internal list
+        and the per-sender candidate caches instead.
+        """
         return list(self._radios)
 
     # ------------------------------------------------------------------
@@ -96,48 +190,138 @@ class WirelessChannel:
     # ------------------------------------------------------------------
     def start_transmission(self, sender: Radio, frame, duration_ns: int) -> Transmission:
         """Propagate ``frame`` from ``sender`` to every radio that can hear it."""
+        sim = self.sim
+        duration_ns = int(duration_ns)
         transmission = Transmission(
             transmission_id=next(self._ids),
             frame=frame,
             sender=sender,
-            start_time=self.sim.now,
-            duration_ns=int(duration_ns),
+            start_time=sim.now,
+            duration_ns=duration_ns,
         )
         self.stats.transmissions += 1
-        shadow_rng = self.rng.stream("shadowing")
+        params = self.params
+        cs_threshold = params.cs_threshold_dbm
+        rx_threshold = params.rx_threshold_dbm
+        now = sim.now
+        signal = sim.schedule_signal
+        attempted = 0
+        for radio, mean_dbm, delay, fades in self._candidates_for(sender):
+            power = mean_dbm + fades.next_db()
+            if power < cs_threshold:
+                continue  # too weak even to sense: no carrier, no interference
+            reception = Reception(
+                transmission=transmission, power_dbm=power, decodable=power >= rx_threshold
+            )
+            attempted += 1
+            arrival = now + delay
+            signal(arrival, radio._signal_start, reception)
+            signal(arrival + duration_ns, radio._signal_end, reception)
+        self.stats.deliveries_attempted += attempted
+        sim.schedule(duration_ns, sender._end_own_transmission, transmission)
+        return transmission
+
+    # ------------------------------------------------------------------
+    # Neighborhood index
+    # ------------------------------------------------------------------
+    def _candidates_for(self, sender: Radio) -> List[_Candidate]:
+        """``sender``'s candidate list, built lazily and cached until invalidated."""
+        candidates = self._candidates.get(sender.node_id)
+        if candidates is None:
+            candidates = self._build_candidates(sender)
+            self._candidates[sender.node_id] = candidates
+        return candidates
+
+    def _build_candidates(self, sender: Radio) -> List[_Candidate]:
+        """Receivers ``sender`` could possibly reach, with link RNGs attached.
+
+        A radio is excluded only when its deterministic received power plus
+        the largest fade the propagation model can produce
+        (:meth:`~repro.phy.propagation.ShadowingPropagation.max_shadowing_db`)
+        still misses the carrier-sense threshold — a *sound* cull, not a
+        heuristic one.  Each entry carries the link's deterministic power
+        and propagation delay (both pure functions of the frozen geometry)
+        so per-frame dispatch is one Gaussian draw and a compare.  The
+        per-link generators come from the keyed-stream registry, so
+        rebuilding a list after a move resumes each link's sample path
+        instead of restarting it.
+        """
+        propagation = self.propagation
+        params = self.params
+        power_floor = params.cs_threshold_dbm - propagation.max_shadowing_db()
+        tx_power = params.tx_power_dbm
+        mean_power = propagation.mean_received_power_dbm
+        model_delay = self.model_propagation_delay
+        sender_id = sender.node_id
+        candidates: List[_Candidate] = []
         for radio in self._radios:
             if radio is sender:
                 continue
             distance = self.distance(sender, radio)
-            power = self.propagation.received_power_dbm(
-                self.params.tx_power_dbm, distance, shadow_rng
+            mean_dbm = mean_power(tx_power, distance)
+            if mean_dbm < power_floor:
+                continue
+            delay = propagation_delay_ns(distance) if model_delay else 0
+            candidates.append((radio, mean_dbm, delay, self._fades_for(sender_id, radio.node_id)))
+        return candidates
+
+    def _fades_for(self, sender_id: int, receiver_id: int) -> _LinkFadeStream:
+        """The (cached) buffered fade stream of one directed link."""
+        key = (sender_id, receiver_id)
+        fades = self._link_fades.get(key)
+        if fades is None:
+            propagation = self.propagation
+            fades = _LinkFadeStream(
+                self.rng.stream_for("shadowing", sender_id, receiver_id),
+                propagation.shadowing_deviation_db,
+                propagation.max_shadowing_db(),
             )
-            if power < self.params.cs_threshold_dbm:
-                continue  # too weak even to sense: no carrier, no interference
-            decodable = power >= self.params.rx_threshold_dbm
-            reception = Reception(transmission=transmission, power_dbm=power, decodable=decodable)
-            delay = propagation_delay_ns(distance) if self.model_propagation_delay else 0
-            self.stats.deliveries_attempted += 1
-            self.sim.schedule(delay, radio._signal_start, reception)
-            self.sim.schedule(delay + transmission.duration_ns, radio._signal_end, reception)
-        self.sim.schedule(transmission.duration_ns, sender._end_own_transmission, transmission)
-        return transmission
+            if len(self._link_fades) >= self.LINK_FADES_MAX:
+                self._link_fades.clear()
+            self._link_fades[key] = fades
+        return fades
+
+    def candidate_receivers(self, sender: Radio) -> List[Radio]:
+        """The radios a transmission from ``sender`` would be dispatched to.
+
+        Exposed for tests and diagnostics; the margin guarantee is that any
+        radio *not* in this list can never receive power at or above the
+        carrier-sense threshold from ``sender`` at the current geometry.
+        """
+        return [radio for radio, _mean_dbm, _delay, _rng in self._candidates_for(sender)]
+
+    def _invalidate_geometry(self) -> None:
+        """Drop every geometry-derived cache (distances, candidate lists)."""
+        self._distance_cache.clear()
+        self._candidates.clear()
 
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
-    def apply_bit_errors(self, frame) -> FrameErrorResult:
-        """Run the i.i.d. BER model over a decoded frame's header and sub-packets."""
-        rng = self.rng.stream("biterror")
+    def apply_bit_errors(self, frame, receiver: Optional[Radio] = None,
+                         sender: Optional[Radio] = None) -> FrameErrorResult:
+        """Run the i.i.d. BER model over a decoded frame's header and sub-packets.
+
+        When the receiving radio (and the transmitting one) are known the
+        draws come from the link's keyed stream, keeping bit-error sample
+        paths independent across forwarders; anonymous callers fall back to
+        the shared ``biterror`` stream.
+        """
+        if receiver is not None and sender is not None:
+            rng = self.rng.stream_for("biterror", sender.node_id, receiver.node_id)
+        else:
+            rng = self.rng.stream("biterror")
         subpacket_bits = [subpacket.bits for subpacket in frame.subpackets]
         return self.error_model.evaluate_frame(frame.header_bits, subpacket_bits, rng)
 
     def distance(self, a: Radio, b: Radio) -> float:
         """Euclidean distance between two radios in metres (cached per pair).
 
-        The cache is keyed by the node-id pair and invalidated whenever any
-        radio moves (:meth:`notify_position_changed`), so transmissions
-        always see *current* geometry even mid-run under mobility.
+        The cache is keyed symmetrically by the node-id pair — (a, b) and
+        (b, a) share one entry — and invalidated whenever any radio moves
+        or registers (:meth:`notify_position_changed`, :meth:`register`),
+        so transmissions always see *current* geometry even mid-run under
+        mobility.  Size is bounded by :data:`DISTANCE_CACHE_MAX`.
         """
         key = (a.node_id, b.node_id) if a.node_id <= b.node_id else (b.node_id, a.node_id)
         cached = self._distance_cache.get(key)
@@ -145,6 +329,8 @@ class WirelessChannel:
             ax, ay = a.position
             bx, by = b.position
             cached = math.hypot(ax - bx, ay - by)
+            if len(self._distance_cache) >= self.DISTANCE_CACHE_MAX:
+                self._distance_cache.clear()
             self._distance_cache[key] = cached
         return cached
 
@@ -152,9 +338,9 @@ class WirelessChannel:
         """Invalidate cached per-pair geometry after a mobility update.
 
         Moves arrive in batches (one mobility tick relocates many nodes), so
-        the whole cache is dropped rather than surgically pruned.
+        every geometry cache is dropped rather than surgically pruned.
         """
-        self._distance_cache.clear()
+        self._invalidate_geometry()
 
     def link_delivery_probability(self, a: Radio, b: Radio, frame_bits: int = 8000) -> float:
         """Expected frame delivery probability on link a→b.

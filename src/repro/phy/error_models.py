@@ -14,9 +14,23 @@ separately for the MAC header, whose corruption loses the whole frame).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import List, Sequence
 
 import numpy as np
+
+
+@lru_cache(maxsize=4096)
+def _block_success_probability(bit_error_rate: float, bits: int) -> float:
+    """``(1 - BER)^bits``, memoised.
+
+    The channel evaluates this once per sub-packet per decoded frame, but a
+    scenario only ever uses a handful of distinct ``(BER, bits)`` pairs
+    (the paper's two BER operating points times a few frame layouts), so
+    the ``pow`` — one of the hot-path's few transcendental operations — is
+    worth caching process-wide.
+    """
+    return float((1.0 - bit_error_rate) ** bits)
 
 
 @dataclass
@@ -49,7 +63,7 @@ class BitErrorModel:
             return 1.0
         if self.bit_error_rate <= 0:
             return 1.0
-        return float((1.0 - self.bit_error_rate) ** bits)
+        return _block_success_probability(self.bit_error_rate, bits)
 
     def block_ok(self, bits: int, rng: np.random.Generator) -> bool:
         """Draw whether a block of ``bits`` survives the channel."""
@@ -59,8 +73,10 @@ class BitErrorModel:
         self, header_bits: int, subpacket_bits: Sequence[int], rng: np.random.Generator
     ) -> FrameErrorResult:
         """Apply bit errors to a frame's header and each of its sub-packets."""
-        header_ok = self.block_ok(header_bits, rng)
-        subpacket_ok = [self.block_ok(bits, rng) for bits in subpacket_bits]
+        success = self.success_probability
+        random = rng.random
+        header_ok = bool(random() < success(header_bits))
+        subpacket_ok = [bool(random() < success(bits)) for bits in subpacket_bits]
         return FrameErrorResult(header_ok=header_ok, subpacket_ok=subpacket_ok)
 
 

@@ -13,6 +13,14 @@ where ``PL(d0)`` is the free-space (Friis) loss at the reference distance
 ``d0`` (1 m) and ``X_sigma`` is a zero-mean Gaussian with standard
 deviation ``sigma`` dB drawn independently for every frame on every link.
 
+The Gaussian is truncated at ``max_deviation_sigmas`` standard deviations
+(default 6, i.e. a clip probability of ~2e-9 per draw — statistically
+invisible at any simulated duration this repository runs).  The bound is
+what makes the channel's receiver culling *sound* rather than heuristic:
+a station whose deterministic power plus the maximum possible fade still
+falls below the carrier-sense threshold provably cannot sense the frame,
+so skipping it cannot change the simulation.
+
 Whether a given frame is *decodable* (received power above the reception
 threshold) or merely *sensed* (above the carrier-sense threshold) is
 decided by the channel from the power this model returns.
@@ -37,6 +45,13 @@ class ShadowingPropagation:
     shadowing_deviation_db: float = 8.0
     reference_distance_m: float = 1.0
     frequency_hz: float = 2.4e9
+    #: Shadowing draws are clipped to +/- this many standard deviations; see
+    #: the module docstring for why the bound exists and why 6 is free.
+    max_deviation_sigmas: float = 6.0
+
+    def max_shadowing_db(self) -> float:
+        """Largest fade (in dB, either sign) a single draw can produce."""
+        return self.shadowing_deviation_db * self.max_deviation_sigmas
 
     def reference_loss_db(self) -> float:
         """Free-space path loss at the reference distance (Friis)."""
@@ -53,12 +68,27 @@ class ShadowingPropagation:
         )
         return tx_power_dbm - path_loss
 
+    def shadowing_db(self, rng: np.random.Generator) -> float:
+        """One independent, bounded shadowing draw in dB.
+
+        Split out from :meth:`received_power_dbm` so per-frame dispatch can
+        add the draw to a *precomputed* deterministic power instead of
+        re-deriving the path loss (a ``log10``) for every frame on a link
+        whose geometry has not changed.
+        """
+        shadowing = rng.normal(0.0, self.shadowing_deviation_db)
+        bound = self.shadowing_deviation_db * self.max_deviation_sigmas
+        if shadowing > bound:
+            return bound
+        if shadowing < -bound:
+            return -bound
+        return shadowing
+
     def received_power_dbm(
         self, tx_power_dbm: float, distance_m: float, rng: np.random.Generator
     ) -> float:
-        """Received power with an independent shadowing draw for this frame."""
-        shadowing = rng.normal(0.0, self.shadowing_deviation_db)
-        return self.mean_received_power_dbm(tx_power_dbm, distance_m) + shadowing
+        """Received power with an independent, bounded shadowing draw for this frame."""
+        return self.mean_received_power_dbm(tx_power_dbm, distance_m) + self.shadowing_db(rng)
 
     def reception_probability(
         self, tx_power_dbm: float, distance_m: float, threshold_dbm: float
@@ -67,11 +97,24 @@ class ShadowingPropagation:
 
         Used by tests and by the route/forwarder-selection metrics (ETX), not
         by the per-frame channel simulation, which draws actual powers.
+
+        Matches the *truncated* draw distribution: clipping piles tail mass
+        onto ``+/- max_shadowing_db()``, so the probability saturates to
+        exactly 1 (or 0) once the threshold clears (or exceeds) the bound —
+        keeping ETX from assigning finite weight to links the simulation
+        can provably never deliver on (visible at small
+        ``max_deviation_sigmas``; ~2e-9 at the default 6).
         """
         mean = self.mean_received_power_dbm(tx_power_dbm, distance_m)
         if self.shadowing_deviation_db <= 0:
             return 1.0 if mean >= threshold_dbm else 0.0
-        z = (threshold_dbm - mean) / self.shadowing_deviation_db
+        offset = threshold_dbm - mean
+        bound = self.max_shadowing_db()
+        if offset <= -bound:
+            return 1.0
+        if offset > bound:
+            return 0.0
+        z = offset / self.shadowing_deviation_db
         return 0.5 * math.erfc(z / math.sqrt(2.0))
 
     def range_for_probability(

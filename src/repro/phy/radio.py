@@ -39,9 +39,13 @@ class RadioState(enum.Enum):
     TRANSMITTING = "transmitting"
 
 
-@dataclass
+@dataclass(slots=True)
 class Reception:
-    """One signal arriving at one receiver."""
+    """One signal arriving at one receiver.
+
+    ``slots=True``: one Reception is allocated per sensed receiver per
+    frame, squarely on the dispatch hot path.
+    """
 
     transmission: "Transmission"
     power_dbm: float
@@ -195,7 +199,11 @@ class Radio:
             self.stats.frames_collided += 1
             return
         frame = reception.transmission.frame
-        result = self.channel.apply_bit_errors(frame)
+        # Passing both ends of the link routes the draws through the keyed
+        # per-link bit-error stream (independence across forwarders).
+        result = self.channel.apply_bit_errors(
+            frame, receiver=self, sender=reception.transmission.sender
+        )
         if not result.header_ok:
             self.stats.frames_header_error += 1
             return

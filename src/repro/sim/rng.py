@@ -14,14 +14,34 @@ named stream derived from a single root seed.  This has two benefits:
 Streams are derived with :class:`numpy.random.SeedSequence` spawning keyed
 by the stream name, so the mapping name → stream is stable regardless of
 the order in which streams are first requested.
+
+Keyed substreams
+----------------
+:meth:`RandomStreams.stream_for` extends the same derivation with integer
+keys: ``stream_for("shadowing", sender_id, receiver_id)`` is one
+independent stream *per link*, derived only from ``(seed, name, keys)``.
+This is what lets the channel skip receivers that are provably out of
+range without perturbing any other link's sample path — under a single
+shared stream, every skipped draw would shift the randomness of every
+radio registered after it.  It is also the paper's own independence
+assumption made literal: "losses between the source and different
+forwarders are independent" (Section IV).
 """
 
 from __future__ import annotations
 
 import zlib
-from typing import Dict
+from typing import Dict, Tuple
 
 import numpy as np
+
+#: Mask applied to user keys so arbitrary ints fit SeedSequence's uint32 words.
+_KEY_MASK = 0xFFFFFFFF
+
+#: Marker word separating keyed substreams from plain named streams, so
+#: ``stream_for("x", 0)`` can never collide with ``stream("y")`` whatever
+#: the CRC of the names.
+_KEYED_MARKER = 0x9E3779B9
 
 
 class RandomStreams:
@@ -30,6 +50,7 @@ class RandomStreams:
     def __init__(self, seed: int = 1) -> None:
         self._seed = int(seed)
         self._streams: Dict[str, np.random.Generator] = {}
+        self._keyed: Dict[Tuple[str, Tuple[int, ...]], np.random.Generator] = {}
 
     @property
     def seed(self) -> int:
@@ -51,9 +72,39 @@ class RandomStreams:
             self._streams[name] = generator
         return generator
 
+    def stream_for(self, name: str, *keys: int) -> np.random.Generator:
+        """Return the generator for ``name`` keyed by ``keys`` (e.g. a link).
+
+        The stream depends only on ``(seed, name, keys)`` — not on creation
+        order, not on how many other streams exist — so per-link draws such
+        as ``stream_for("shadowing", sender, receiver)`` are reproducible
+        even when the set of links actually exercised changes (receiver
+        culling, mobility, registration-order changes).
+
+        Generators are cached: repeated calls with the same key return the
+        *same* generator object, whose state advances across calls — that
+        is what keeps a link's fading sample path continuous over a run.
+        ``stream_for(name)`` with no keys is identical to ``stream(name)``.
+        """
+        if not keys:
+            return self.stream(name)
+        cache_key = (name, keys)
+        generator = self._keyed.get(cache_key)
+        if generator is None:
+            spawn_key = (
+                zlib.crc32(name.encode("utf-8")),
+                _KEYED_MARKER,
+                *(int(k) & _KEY_MASK for k in keys),
+            )
+            sequence = np.random.SeedSequence(entropy=self._seed, spawn_key=spawn_key)
+            generator = np.random.default_rng(sequence)
+            self._keyed[cache_key] = generator
+        return generator
+
     def fork(self, offset: int) -> "RandomStreams":
         """A new registry with a seed offset; used for independent replications."""
         return RandomStreams(seed=self._seed + int(offset))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"RandomStreams(seed={self._seed}, streams={sorted(self._streams)})"
+        keyed = sorted(f"{name}{list(keys)}" for name, keys in self._keyed)
+        return f"RandomStreams(seed={self._seed}, streams={sorted(self._streams)}, keyed={keyed})"

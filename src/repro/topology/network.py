@@ -51,7 +51,7 @@ def _make_dcf(network: "WirelessNetwork", node: Node, **kwargs):
         node.radio,
         network.phy,
         network.timing,
-        network.rng.stream(f"mac-{node.node_id}"),
+        network.rng,
         max_aggregation=kwargs.get("max_aggregation", 1),
     )
 
@@ -65,7 +65,7 @@ def _make_afr(network: "WirelessNetwork", node: Node, **kwargs):
         node.radio,
         network.phy,
         network.timing,
-        network.rng.stream(f"mac-{node.node_id}"),
+        network.rng,
         max_aggregation=kwargs.get("max_aggregation", 16),
     )
 
@@ -79,7 +79,7 @@ def _make_ripple(network: "WirelessNetwork", node: Node, **kwargs):
         node.radio,
         network.phy,
         network.timing,
-        network.rng.stream(f"mac-{node.node_id}"),
+        network.rng,
         max_aggregation=kwargs.get("max_aggregation", 16),
         aggregate_local_traffic=kwargs.get("aggregate_local_traffic", True),
     )
@@ -100,7 +100,7 @@ def _make_preexor(network: "WirelessNetwork", node: Node, **kwargs):
         node.radio,
         network.phy,
         network.timing,
-        network.rng.stream(f"mac-{node.node_id}"),
+        network.rng,
     )
 
 
@@ -113,7 +113,7 @@ def _make_mcexor(network: "WirelessNetwork", node: Node, **kwargs):
         node.radio,
         network.phy,
         network.timing,
-        network.rng.stream(f"mac-{node.node_id}"),
+        network.rng,
     )
 
 

@@ -1,0 +1,151 @@
+"""repro.bench: the performance-baseline subsystem and its CLI."""
+
+import json
+
+import pytest
+
+from repro.experiments.bench import (
+    BenchCase,
+    default_cases,
+    dispatch_micro,
+    format_report,
+    git_revision,
+    quick_cases,
+    run_bench,
+    run_case,
+    write_report,
+)
+from repro.experiments.runner import ScenarioConfig
+from repro.topology.standard import line_topology
+
+
+def tiny_case(scheme="D", duration_s=0.02):
+    config = ScenarioConfig(
+        topology=line_topology(2), scheme_label=scheme, duration_s=duration_s, seed=1
+    )
+    return BenchCase(family="line-tiny", scheme=scheme, config=config)
+
+
+class TestMatrix:
+    def test_default_matrix_covers_families_times_schemes(self):
+        cases = default_cases(duration_s=0.1)
+        names = {case.name for case in cases}
+        assert len(cases) == 5 * 4  # five families, D/A/R1/R16
+        assert "roofnet/R16" in names and "wigle/D" in names
+        assert "mobility/A" in names and "line-noisy/R1" in names
+
+    def test_family_filter_and_unknown_family(self):
+        cases = default_cases(duration_s=0.1, families=("roofnet",), schemes=("D",))
+        assert [case.name for case in cases] == ["roofnet/D"]
+        with pytest.raises(ValueError):
+            default_cases(families=("nope",))
+
+    def test_quick_subset_is_small(self):
+        cases = quick_cases()
+        assert {case.family for case in cases} == {"line-clear", "roofnet"}
+        assert {case.scheme for case in cases} == {"D", "R16"}
+
+
+class TestExecution:
+    def test_run_case_times_a_simulation(self):
+        outcome = run_case(tiny_case())
+        assert outcome.events > 0
+        assert outcome.wall_s > 0
+        assert outcome.events_per_sec > 0
+        assert outcome.name == "line-tiny/D"
+
+    def test_repeats_keep_best_wall_time(self):
+        single = run_case(tiny_case(), repeats=1)
+        repeated = run_case(tiny_case(), repeats=3)
+        # Same deterministic simulation: identical event count either way.
+        assert repeated.events == single.events
+
+    def test_report_json_round_trip(self, tmp_path):
+        report = run_bench([tiny_case("D"), tiny_case("R16")], revision="testrev")
+        target = write_report(report, tmp_path / "bench.json")
+        data = json.loads(target.read_text())
+        assert data["revision"] == "testrev"
+        assert len(data["cases"]) == 2
+        for case in data["cases"]:
+            assert case["events_per_sec"] > 0
+        assert data["summary"]["total_events"] == sum(c["events"] for c in data["cases"])
+        assert data["summary"]["events_per_sec_by_family"]["line-tiny"] > 0
+
+    def test_default_output_name_embeds_revision(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        report = run_bench([tiny_case()], revision="abc1234")
+        target = write_report(report)
+        assert target.name == "BENCH_abc1234.json"
+        assert target.exists()
+
+    def test_format_report_renders_every_case(self):
+        report = run_bench([tiny_case("D")], revision="r")
+        text = format_report(report)
+        assert "line-tiny/D" in text and "events/s" in text
+
+    def test_git_revision_is_a_short_string(self):
+        rev = git_revision()
+        assert isinstance(rev, str) and rev
+        assert "\n" not in rev
+
+    def test_dispatch_micro_times_the_raw_hot_path(self):
+        micro = dispatch_micro("line", frames=50)
+        assert micro["topology"] == "line"
+        assert micro["frames"] == 50
+        assert micro["transmissions_per_sec"] > 0
+        assert micro["events"] > 0
+        assert micro["wall_s"] <= micro["total_wall_s"]
+        with pytest.raises(ValueError):
+            dispatch_micro("not-a-topology")
+
+    def test_run_bench_attaches_dispatch_micros(self):
+        report = run_bench(
+            [tiny_case()], revision="r", dispatch_topologies=("line",)
+        )
+        data = report.to_dict()
+        assert len(data["dispatch"]) == 1
+        assert data["dispatch"][0]["topology"] == "line"
+        assert "dispatch/line" in format_report(report)
+
+
+class TestCli:
+    def test_bench_subcommand_quick(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        out = tmp_path / "bench.json"
+        code = main(
+            ["bench", "--quick", "--duration", "0.01", "--output", str(out)]
+        )
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert {case["family"] for case in data["cases"]} == {"line-clear", "roofnet"}
+        stdout = capsys.readouterr().out
+        assert "roofnet/R16" in stdout
+
+    def test_quick_honors_explicit_family_and_scheme_filters(self, tmp_path):
+        from repro.experiments.__main__ import main
+
+        out = tmp_path / "q.json"
+        code = main(
+            [
+                "bench", "--quick", "--families", "line-clear", "--schemes", "R1",
+                "--duration", "0.01", "--no-dispatch", "--output", str(out),
+            ]
+        )
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert [case["name"] for case in data["cases"]] == ["line-clear/R1"]
+
+    def test_bench_subcommand_family_selection(self, tmp_path):
+        from repro.experiments.__main__ import main
+
+        out = tmp_path / "b.json"
+        code = main(
+            [
+                "bench", "--families", "line-clear", "--schemes", "D",
+                "--duration", "0.01", "--output", str(out),
+            ]
+        )
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert [case["name"] for case in data["cases"]] == ["line-clear/D"]

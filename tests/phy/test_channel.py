@@ -188,6 +188,87 @@ class TestCollisions:
         assert macs[1].received == []
 
 
+class TestNeighborhoodCulling:
+    """The per-sender candidate index must be an exact, not heuristic, cull."""
+
+    def test_candidates_exclude_only_provably_unreachable(self):
+        # deviation=8: the margin is 6 sigma = 48 dB of headroom.
+        sim, channel, radios, macs = build(
+            [(0, 0), (100, 0), (900, 0), (20000, 0)], deviation=8.0
+        )
+        candidates = channel.candidate_receivers(radios[0])
+        assert radios[1] in candidates
+        assert radios[2] in candidates  # unreachable on mean power, not at +6 sigma
+        assert radios[3] not in candidates  # beyond even the maximum fade
+        assert radios[0] not in candidates  # never a receiver of itself
+
+    def test_culled_radio_can_never_be_sensed(self):
+        # The margin guarantee: power draws for a culled link are bounded
+        # below the carrier-sense threshold, for any number of frames.
+        sim, channel, radios, macs = build([(0, 0), (20000, 0)], deviation=8.0)
+        assert radios[1] not in channel.candidate_receivers(radios[0])
+        max_fade = channel.propagation.max_shadowing_db()
+        mean = channel.propagation.mean_received_power_dbm(
+            channel.params.tx_power_dbm, channel.distance(radios[0], radios[1])
+        )
+        assert mean + max_fade < channel.params.cs_threshold_dbm
+        rng = channel.rng.stream_for("shadowing", 0, 1)
+        for _ in range(200):
+            power = channel.propagation.received_power_dbm(
+                channel.params.tx_power_dbm, channel.distance(radios[0], radios[1]), rng
+            )
+            assert power < channel.params.cs_threshold_dbm
+
+    def test_dispatch_outcome_independent_of_registration_order(self):
+        # Keyed per-link RNG: the same (seed, link) sees the same fades no
+        # matter how many radios exist or in which order they registered.
+        positions = [(0, 0), (115, 0), (230, 0), (345, 0)]
+
+        def deliveries(order):
+            sim = Simulator()
+            channel = WirelessChannel(
+                sim, PhyParams(), error_model=BitErrorModel(0.0), rng=RandomStreams(3)
+            )
+            radios = {}
+            macs = {}
+            for node_id in order:
+                radios[node_id] = Radio(node_id, positions[node_id], channel)
+                macs[node_id] = RecordingMac()
+                radios[node_id].attach_mac(macs[node_id])
+            for _ in range(20):
+                radios[0].transmit(make_frame(), us(50))
+                sim.run()
+            return {node_id: len(mac.received) for node_id, mac in macs.items()}
+
+        assert deliveries([0, 1, 2, 3]) == deliveries([3, 2, 1, 0])
+
+    def test_candidate_cache_invalidated_by_movement(self):
+        sim, channel, radios, macs = build([(0, 0), (100, 0)], deviation=0.0)
+        assert radios[1] in channel.candidate_receivers(radios[0])
+        radios[1].move_to((20000.0, 0.0))
+        assert radios[1] not in channel.candidate_receivers(radios[0])
+        radios[1].move_to((100.0, 0.0))
+        assert radios[1] in channel.candidate_receivers(radios[0])
+
+    def test_candidate_cache_invalidated_by_registration(self):
+        sim, channel, radios, macs = build([(0, 0), (100, 0)])
+        assert len(channel.candidate_receivers(radios[0])) == 1
+        late = Radio(99, (50.0, 0.0), channel)
+        late.attach_mac(RecordingMac())
+        assert late in channel.candidate_receivers(radios[0])
+
+    def test_zero_deviation_culls_on_mean_power_exactly(self):
+        sim, channel, radios, macs = build([(0, 0), (100, 0), (5000, 0)], deviation=0.0)
+        candidates = channel.candidate_receivers(radios[0])
+        assert radios[1] in candidates and radios[2] not in candidates
+
+    def test_radios_property_returns_defensive_copy(self):
+        sim, channel, radios, macs = build([(0, 0), (100, 0)])
+        listed = channel.radios
+        listed.clear()
+        assert channel.radios == radios
+
+
 class TestBitErrors:
     def test_high_ber_corrupts_some_subpackets(self):
         sim, channel, radios, macs = build([(0, 0), (100, 0)], ber=1e-4)

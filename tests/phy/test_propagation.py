@@ -98,6 +98,37 @@ class TestShadowingDraws:
         p = model.reception_probability(phy.tx_power_dbm, distance, phy.rx_threshold_dbm)
         assert 0.0 <= p <= 1.0
 
+    def test_draws_are_bounded_by_max_deviation(self):
+        # A tight one-sigma bound makes clipping frequent and easy to verify;
+        # this bound is exactly what makes receiver culling provably safe.
+        model = ShadowingPropagation(shadowing_deviation_db=8.0, max_deviation_sigmas=1.0)
+        rng = np.random.default_rng(1)
+        mean = model.mean_received_power_dbm(20.0, 200)
+        draws = np.array([model.received_power_dbm(20.0, 200, rng) for _ in range(2000)])
+        assert draws.max() <= mean + model.max_shadowing_db() + 1e-9
+        assert draws.min() >= mean - model.max_shadowing_db() - 1e-9
+        assert model.max_shadowing_db() == 8.0
+
+    def test_reception_probability_matches_the_truncated_distribution(self):
+        # Clipping piles tail mass at the bound, so the closed form must
+        # saturate exactly where the simulation provably always/never hears
+        # a frame — otherwise ETX routes over undeliverable links.
+        model = ShadowingPropagation(shadowing_deviation_db=8.0, max_deviation_sigmas=1.0)
+        mean = model.mean_received_power_dbm(20.0, 200)
+        bound = model.max_shadowing_db()
+        assert model.reception_probability(20.0, 200, mean - bound) == 1.0
+        assert model.reception_probability(20.0, 200, mean + bound + 0.1) == 0.0
+        inside = model.reception_probability(20.0, 200, mean + bound / 2)
+        assert 0.0 < inside < 0.5  # untruncated Gaussian tail within the bound
+
+    def test_default_bound_is_statistically_invisible(self):
+        # At the default 6 sigma the clip probability is ~2e-9: no draw in a
+        # realistic run is affected, so the model matches NS-2 in practice.
+        model = ShadowingPropagation()
+        rng = np.random.default_rng(2)
+        draws = np.array([model.received_power_dbm(20.0, 200, rng) for _ in range(4000)])
+        assert abs(draws.std() - 8.0) < 0.5
+
 
 class TestPropagationDelay:
     def test_speed_of_light(self):

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.sim.engine import SimulationError, Simulator
+from repro.sim.engine import Event, SimulationError, Simulator
 
 
 class TestScheduling:
@@ -209,3 +209,81 @@ class TestHeapCompaction:
             handle.cancel()  # stale handles: already fired
         assert sim.cancelled_pending_events == 0
         assert sim.pending_events == 0
+
+
+class TestTupleSlotsRepresentation:
+    """Heap entries are (time, seq, event) tuples around __slots__ Events."""
+
+    def test_event_has_no_dict(self):
+        sim = Simulator()
+        event = sim.schedule(10, lambda: None)
+        assert not hasattr(event, "__dict__")
+        with pytest.raises(AttributeError):
+            event.arbitrary_new_attribute = 1
+
+    def test_event_exposes_time_seq_and_active(self):
+        sim = Simulator()
+        first = sim.schedule(10, lambda: None)
+        second = sim.schedule(10, lambda: None)
+        assert (first.time, second.time) == (10, 10)
+        assert first.seq < second.seq  # FIFO tie-break ordering key
+        assert first.active and second.active
+        first.cancel()
+        assert not first.active and second.active
+
+    def test_cancel_after_fire_is_a_noop(self):
+        # step() marks a fired event cancelled to guard stale handles; a
+        # later cancel() must neither call on_cancel bookkeeping twice nor
+        # force a compaction of live entries.
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(5, fired.append, "x")
+        later = sim.schedule(10, fired.append, "y")
+        sim.run(until=5)
+        assert fired == ["x"]
+        handle.cancel()
+        assert sim.cancelled_pending_events == 0
+        sim.run()
+        assert fired == ["x", "y"]
+        assert later.cancelled  # fired, not dropped
+
+    def test_seq_ties_fifo_across_compaction(self):
+        # Interleave many same-time events with cancellations so compaction
+        # (triggered above COMPACT_MIN_HEAP) rebuilds the tuple heap, then
+        # verify survivors still fire in scheduling order.
+        sim = Simulator()
+        fired = []
+        survivors = []
+        for i in range(300):
+            event = sim.schedule(1000, fired.append, i)
+            if i % 3 == 0:
+                survivors.append(i)
+            else:
+                event.cancel()
+        assert sim.pending_events < 300  # compaction ran at least once
+        sim.run()
+        assert fired == survivors
+
+    def test_callback_cancelling_future_events_mid_run(self):
+        # A callback that cancels enough events to trigger compaction while
+        # run() holds its local heap alias must not lose pending events.
+        sim = Simulator()
+        fired = []
+        doomed = [sim.schedule(100 + i, fired.append, f"doomed{i}") for i in range(100)]
+        keeper = sim.schedule(500, fired.append, "keeper")
+
+        def massacre():
+            for event in doomed:
+                event.cancel()
+
+        sim.schedule(50, massacre)
+        sim.run()
+        assert fired == ["keeper"]
+        assert keeper.cancelled  # fired
+        assert sim.pending_events == 0
+
+    def test_direct_event_construction_defaults(self):
+        event = Event(5, 0, lambda: None)
+        assert event.args == () and event.on_cancel is None
+        event.cancel()  # no on_cancel hook: must not raise
+        assert event.cancelled

@@ -37,3 +37,60 @@ class TestRandomStreams:
         fork = base.fork(5)
         assert fork.seed == 15
         assert base.stream("a").random() != fork.stream("a").random()
+
+
+class TestKeyedStreams:
+    """stream_for: per-key substreams independent of everything but (seed, name, keys)."""
+
+    def test_same_seed_same_keys_same_draws(self):
+        a = RandomStreams(seed=11).stream_for("shadowing", 3, 7)
+        b = RandomStreams(seed=11).stream_for("shadowing", 3, 7)
+        assert list(a.random(10)) == list(b.random(10))
+
+    def test_different_keys_are_independent(self):
+        streams = RandomStreams(seed=11)
+        ab = streams.stream_for("shadowing", 0, 1).random(8)
+        ba = streams.stream_for("shadowing", 1, 0).random(8)
+        other = streams.stream_for("shadowing", 0, 2).random(8)
+        assert list(ab) != list(ba)
+        assert list(ab) != list(other)
+
+    def test_draws_do_not_depend_on_which_other_links_draw(self):
+        # The culling guarantee: skipping some links entirely must not move
+        # any other link's sample path.
+        full = RandomStreams(seed=5)
+        for sender in range(4):
+            for receiver in range(4):
+                if sender != receiver:
+                    full.stream_for("shadowing", sender, receiver).random(3)
+        probe_full = full.stream_for("shadowing", 2, 3).random(5)
+
+        culled = RandomStreams(seed=5)
+        probe_culled = culled.stream_for("shadowing", 2, 3)
+        probe_culled.random(3)  # only this link ever draws
+        assert list(probe_culled.random(5)) == list(probe_full)
+
+    def test_keyed_stream_is_cached_and_stateful(self):
+        streams = RandomStreams(seed=2)
+        first = streams.stream_for("biterror", 1, 2)
+        assert streams.stream_for("biterror", 1, 2) is first
+        x = first.random()
+        # A fresh registry reproduces the concatenated sample path.
+        replay = RandomStreams(seed=2).stream_for("biterror", 1, 2)
+        assert replay.random() == x
+
+    def test_no_keys_is_the_plain_named_stream(self):
+        streams = RandomStreams(seed=9)
+        assert streams.stream_for("mobility") is streams.stream("mobility")
+
+    def test_keyed_and_named_streams_do_not_collide(self):
+        streams = RandomStreams(seed=4)
+        named = streams.stream("mac").random(6)
+        keyed = RandomStreams(seed=4).stream_for("mac", 0).random(6)
+        assert list(named) != list(keyed)
+
+    def test_keys_are_order_sensitive(self):
+        streams = RandomStreams(seed=8)
+        assert list(streams.stream_for("s", 1, 2).random(4)) != list(
+            streams.stream_for("s", 2, 1).random(4)
+        )
