@@ -8,9 +8,15 @@ flow 1's throughput for DCF, AFR and RIPPLE — reproducing the shape of
 Fig. 6(b): everyone collapses as hidden load grows, RIPPLE leads at low
 load and loses its edge when hidden collisions break its long mTXOPs.
 
+One grid point of the same sweep, straight from the scenario API:
+
+    python -m repro.experiments run --set topology=fig5b topology.n_hidden=4 scheme=R16
+
 Run with:  python examples/hidden_terminals.py [duration_seconds]
+(Or set REPRO_EXAMPLE_DURATION, e.g. in CI.)
 """
 
+import os
 import sys
 
 from repro.experiments.collisions import run_hidden_collisions
@@ -18,7 +24,8 @@ from repro.experiments.report import render_panel
 
 
 def main() -> None:
-    duration = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
+    default = float(os.environ.get("REPRO_EXAMPLE_DURATION", "0.5"))
+    duration = float(sys.argv[1]) if len(sys.argv) > 1 else default
     hidden_counts = (0, 2, 4, 6)
     result = run_hidden_collisions(hidden_counts=hidden_counts, duration_s=duration, seed=1)
     print(

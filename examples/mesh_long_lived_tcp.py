@@ -7,9 +7,17 @@ then flows 1+2, then all three flows, and prints the same bars Fig. 3(a)
 plots: S (direct shortest path), D (802.11 DCF), R1 (RIPPLE without
 aggregation), A (AFR) and R16 (RIPPLE).
 
+The scheme labels are a thin alias layer over the component registries —
+"R16" is exactly `mac=ripple routing=static`, so any bar of this panel is
+also reachable as:
+
+    python -m repro.experiments run --set topology=fig1 mac=ripple flows=1,2,3
+
 Run with:  python examples/mesh_long_lived_tcp.py [duration_seconds]
+(Or set REPRO_EXAMPLE_DURATION, e.g. in CI.)
 """
 
+import os
 import sys
 
 from repro.experiments.longlived import run_longlived_panel
@@ -17,7 +25,8 @@ from repro.experiments.report import render_panel
 
 
 def main() -> None:
-    duration = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
+    default = float(os.environ.get("REPRO_EXAMPLE_DURATION", "0.5"))
+    duration = float(sys.argv[1]) if len(sys.argv) > 1 else default
     panel = run_longlived_panel("ROUTE0", bit_error_rate=1e-6, duration_s=duration, seed=1)
     print(
         render_panel(

@@ -8,13 +8,21 @@ exactly; the other columns show how each scheme's call quality holds up
 as movement invalidates links and the mobility subsystem re-estimates the
 ETX graph and refreshes routes mid-call.
 
+The `mobility-voip` experiment family behind this is itself a declarative
+grid over the scenario API; one of its grid points, from the shell:
+
+    python -m repro.experiments run --set topology=voip traffic=flows \
+        scheme=R16 mobility=random_waypoint mobility.speed=5 phy=low_rate
+
 Like examples/sweep_parallel.py, the grid fans out over worker processes
 and every scenario result is cached on disk, so a second run of this
 script renders from cache in milliseconds.
 
 Run with:  python examples/mobile_voip.py
+(Set REPRO_EXAMPLE_DURATION to shorten the simulated time, e.g. in CI.)
 """
 
+import os
 import time
 
 from repro.experiments import ResultCache, SweepRunner
@@ -23,7 +31,7 @@ from repro.experiments.report import render_panel
 
 SPEEDS_MPS = (0.0, 1.0, 5.0, 10.0)
 SCHEMES = ("D", "A", "R16")
-DURATION_S = 1.0
+DURATION_S = float(os.environ.get("REPRO_EXAMPLE_DURATION", "1.0"))
 CALLS = 10
 
 

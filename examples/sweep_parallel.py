@@ -1,38 +1,46 @@
 #!/usr/bin/env python3
-"""Parallel multi-seed scheme sweep through the SweepRunner.
+"""Parallel multi-seed scheme sweep from one declarative ScenarioSpec.
 
-Expands a declarative config grid (5 schemes x 3 seeds on the Fig. 1
-topology), fans it out over worker processes, and caches every scenario
-result on disk so a second run of this script is served from cache in
-milliseconds.
+Starts from a fully declarative `ScenarioSpec` — the topology is a
+registry reference (`TopologyRef("fig1")`), not a hand-built object —
+expands it into a config grid (5 schemes x 3 seeds), fans the grid out
+over worker processes, and caches every scenario result on disk so a
+second run of this script is served from cache in milliseconds.
+
+The same scenario, straight from the shell:
+
+    python -m repro.experiments run --set topology=fig1 scheme=R16 flows=1
 
 Run with:  python examples/sweep_parallel.py
 Then run it again and watch the cache line at the bottom.
+(Set REPRO_EXAMPLE_DURATION to shorten the simulated time, e.g. in CI.)
 """
 
+import os
 import statistics
 import time
 
 from repro.experiments import (
     DEFAULT_SCHEME_LABELS,
     ResultCache,
-    ScenarioConfig,
+    ScenarioSpec,
     SweepRunner,
+    TopologyRef,
     expand_grid,
 )
-from repro.topology.standard import fig1_topology
 
-DURATION_S = 0.2
+DURATION_S = float(os.environ.get("REPRO_EXAMPLE_DURATION", "0.2"))
 SEEDS = (1, 2, 3)
 
 
 def main() -> None:
-    base = ScenarioConfig(
-        topology=fig1_topology(),
+    spec = ScenarioSpec(
+        topology=TopologyRef("fig1"),
         route_set="ROUTE0",
         active_flows=[1],
         duration_s=DURATION_S,
     )
+    base = spec.to_config()  # registry reference -> concrete ScenarioConfig
     grid = expand_grid(base, scheme_label=list(DEFAULT_SCHEME_LABELS), seed=list(SEEDS))
     print(f"{len(grid)} scenarios ({len(DEFAULT_SCHEME_LABELS)} schemes x {len(SEEDS)} seeds)")
 

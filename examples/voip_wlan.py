@@ -7,9 +7,17 @@ each flow with the E-model (R-factor -> MoS), exactly as Section IV-E
 describes: packets later than the 52 ms wireless budget count as losses
 against a 177 ms mouth-to-ear delay.
 
+The VoIP workload is just a traffic kind in the scenario API — the same
+cell is one CLI invocation away:
+
+    python -m repro.experiments run --set topology=voip scheme=D \
+        phy=low_rate flows=1,2,3,4,5,6,7,8,9,10
+
 Run with:  python examples/voip_wlan.py [duration_seconds]
+(Or set REPRO_EXAMPLE_DURATION, e.g. in CI.)
 """
 
+import os
 import sys
 
 from repro.experiments.report import render_panel
@@ -17,7 +25,8 @@ from repro.experiments.voip import run_voip
 
 
 def main() -> None:
-    duration = float(sys.argv[1]) if len(sys.argv) > 1 else 1.5
+    default = float(os.environ.get("REPRO_EXAMPLE_DURATION", "1.5"))
+    duration = float(sys.argv[1]) if len(sys.argv) > 1 else default
     groups = (10, 20)
     result = run_voip(bit_error_rate=1e-6, flow_groups=groups, duration_s=duration, seed=1)
     print(

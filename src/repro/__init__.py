@@ -28,6 +28,7 @@ from repro.core import RippleMac
 from repro.mobility import MobilityManager, MobilitySpec
 from repro.packet import Packet
 from repro.phy import BitErrorModel, PhyParams, ShadowingPropagation
+from repro.registry import Registry, RegistryError
 from repro.routing import (
     AdaptiveEtxRouting,
     McExorMac,
@@ -36,12 +37,22 @@ from repro.routing import (
     ShortestPathRouting,
     StaticRouting,
 )
+from repro.serialization import SpecError
 from repro.sim import RandomStreams, Simulator, seconds, us
+from repro.spec import MacSpec, RoutingSpec, ScenarioSpec, TopologyRef, TrafficSpec
 from repro.topology import SCHEMES, Node, WirelessNetwork
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "MacSpec",
+    "Registry",
+    "RegistryError",
+    "RoutingSpec",
+    "ScenarioSpec",
+    "SpecError",
+    "TopologyRef",
+    "TrafficSpec",
     "AfrMac",
     "DcfMac",
     "MacTiming",

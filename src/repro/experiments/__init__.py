@@ -26,6 +26,7 @@ and runs any figure/table from the command line with ``--jobs``,
 ``--seeds`` and ``--no-cache`` flags.
 """
 
+from repro.experiments.grids import Axis, scenario_grid, topology_axis
 from repro.experiments.parallel import (
     CACHE_SCHEMA_VERSION,
     CacheMissError,
@@ -41,23 +42,40 @@ from repro.experiments.runner import (
     ScenarioConfig,
     ScenarioResult,
     build_network,
+    expand_scheme_label,
     run_scenario,
     sweep_schemes,
 )
+from repro.spec import (
+    MacSpec,
+    RoutingSpec,
+    ScenarioSpec,
+    TopologyRef,
+    TrafficSpec,
+)
 
 __all__ = [
+    "Axis",
     "CACHE_SCHEMA_VERSION",
     "CacheMissError",
     "CacheOnlySweepRunner",
     "DEFAULT_SCHEME_LABELS",
+    "MacSpec",
     "PAPER_SCHEMES",
     "ResultCache",
+    "RoutingSpec",
     "ScenarioConfig",
     "ScenarioResult",
+    "ScenarioSpec",
     "SweepRunner",
+    "TopologyRef",
+    "TrafficSpec",
     "build_network",
     "config_digest",
     "expand_grid",
+    "expand_scheme_label",
     "run_scenario",
+    "scenario_grid",
     "sweep_schemes",
+    "topology_axis",
 ]

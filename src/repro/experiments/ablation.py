@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.experiments.grids import scenario_grid
 from repro.experiments.parallel import SweepRunner
 from repro.experiments.runner import ScenarioConfig
 from repro.topology.standard import fig1_topology, line_topology
@@ -45,20 +46,17 @@ def aggregation_ablation_grid(
     seed: int = 1,
 ) -> List[ScenarioConfig]:
     """The declarative config grid: one RIPPLE run per aggregation level."""
-    topology = fig1_topology()
-    return [
-        ScenarioConfig(
-            topology=topology,
-            scheme_label="R16",
-            route_set="ROUTE0",
-            active_flows=[1],
-            bit_error_rate=bit_error_rate,
-            duration_s=duration_s,
-            seed=seed,
-            max_aggregation=level,
-        )
-        for level in levels
-    ]
+    base = ScenarioConfig(
+        topology=fig1_topology(),
+        scheme_label="R16",
+        route_set="ROUTE0",
+        active_flows=[1],
+        bit_error_rate=bit_error_rate,
+        duration_s=duration_s,
+        seed=seed,
+    )
+    configs, _keys = scenario_grid(base, {"max_aggregation": levels})
+    return configs
 
 
 def run_aggregation_ablation(
@@ -85,19 +83,16 @@ def forwarder_ablation_grid(
     seed: int = 1,
 ) -> List[ScenarioConfig]:
     """The declarative config grid: one RIPPLE run per forwarder-list cap."""
-    topology = line_topology(n_hops)
-    return [
-        ScenarioConfig(
-            topology=topology,
-            scheme_label="R16",
-            route_set="ROUTE0",
-            bit_error_rate=bit_error_rate,
-            duration_s=duration_s,
-            seed=seed,
-            max_forwarders=count,
-        )
-        for count in forwarder_counts
-    ]
+    base = ScenarioConfig(
+        topology=line_topology(n_hops),
+        scheme_label="R16",
+        route_set="ROUTE0",
+        bit_error_rate=bit_error_rate,
+        duration_s=duration_s,
+        seed=seed,
+    )
+    configs, _keys = scenario_grid(base, {"max_forwarders": forwarder_counts})
+    return configs
 
 
 def run_forwarder_ablation(

@@ -11,11 +11,14 @@ run, each under the paper's D/A/R1/R16 schemes — and reports, per case,
   dispatch + MAC hot path.
 
 Results are written to ``BENCH_<revision>.json`` so every future PR has a
-trajectory to compare against::
+trajectory to compare against, and ``bench compare`` diffs two such
+reports case by case (exit code 4 when any case's events/s drops by more
+than ``--threshold`` percent)::
 
     python -m repro.experiments bench                 # full matrix
     python -m repro.experiments bench --quick         # CI smoke subset
     python -m repro.experiments bench --families roofnet wigle --schemes R16
+    python -m repro.experiments bench compare BENCH_old.json BENCH_new.json --threshold 5
 
 Timing runs always simulate — the sweep result cache is deliberately
 bypassed, since a cache hit would time JSON deserialisation instead of
@@ -34,7 +37,7 @@ import time
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.experiments.runner import ScenarioConfig, run_scenario
 from repro.mobility.spec import MobilitySpec
@@ -412,6 +415,108 @@ def format_report(report: BenchReport) -> str:
     return "\n".join(lines)
 
 
+# ----------------------------------------------------------------------
+# Baseline comparison (``bench compare A.json B.json``)
+# ----------------------------------------------------------------------
+def load_report(path: str) -> Dict[str, object]:
+    """Read a ``BENCH_*.json`` report written by :func:`write_report`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def compare_reports(
+    baseline: Dict[str, object],
+    current: Dict[str, object],
+    threshold_pct: float = 5.0,
+) -> Tuple[str, List[str]]:
+    """Diff two bench reports case by case.
+
+    Returns ``(table_text, regressions)`` where ``regressions`` lists the
+    case names whose events/s dropped by more than ``threshold_pct``
+    relative to the baseline.  Cases present in only one report are shown
+    but never counted as regressions; cases timed at different simulated
+    durations are flagged (warm-up effects make their events/s only
+    loosely comparable) and excluded from regression accounting too.
+    """
+    base_cases = {case["name"]: case for case in baseline.get("cases", [])}
+    cur_cases = {case["name"]: case for case in current.get("cases", [])}
+    header = (
+        f"{'case':<20} {'base ev/s':>12} {'current ev/s':>13} {'delta':>8}   "
+        f"(threshold -{threshold_pct:g}%)"
+    )
+    lines = [
+        f"baseline {baseline.get('revision', '?')}  vs  current {current.get('revision', '?')}",
+        header,
+        "-" * len(header),
+    ]
+    regressions: List[str] = []
+    for name in sorted(set(base_cases) | set(cur_cases)):
+        base = base_cases.get(name)
+        cur = cur_cases.get(name)
+        if base is None or cur is None:
+            side = "baseline" if cur is None else "current"
+            lines.append(f"{name:<20} {'—':>12} {'—':>13} {'—':>8}   only in {side}")
+            continue
+        base_eps = float(base.get("events_per_sec", 0.0))
+        cur_eps = float(cur.get("events_per_sec", 0.0))
+        delta_pct = 100.0 * (cur_eps - base_eps) / base_eps if base_eps > 0 else 0.0
+        note = ""
+        if base.get("sim_duration_s") != cur.get("sim_duration_s"):
+            note = (
+                f"   [durations differ: {base.get('sim_duration_s')} vs "
+                f"{cur.get('sim_duration_s')} s — not gated]"
+            )
+        elif delta_pct < -threshold_pct:
+            note = "   REGRESSION"
+            regressions.append(name)
+        lines.append(
+            f"{name:<20} {base_eps:>12,.0f} {cur_eps:>13,.0f} {delta_pct:>+7.1f}%{note}"
+        )
+    base_micro = {str(m["topology"]): m for m in baseline.get("dispatch", [])}
+    cur_micro = {str(m["topology"]): m for m in current.get("dispatch", [])}
+    for topology in sorted(set(base_micro) & set(cur_micro)):
+        base_tps = float(base_micro[topology].get("transmissions_per_sec", 0.0))
+        cur_tps = float(cur_micro[topology].get("transmissions_per_sec", 0.0))
+        delta_pct = 100.0 * (cur_tps - base_tps) / base_tps if base_tps > 0 else 0.0
+        note = ""
+        if delta_pct < -threshold_pct:
+            note = "   REGRESSION"
+            regressions.append(f"dispatch/{topology}")
+        lines.append(
+            f"{'dispatch/' + topology:<20} {base_tps:>12,.0f} {cur_tps:>13,.0f} "
+            f"{delta_pct:>+7.1f}%{note}"
+        )
+    lines.append("-" * len(header))
+    if regressions:
+        lines.append(
+            f"{len(regressions)} regression(s) beyond {threshold_pct:g}%: "
+            + ", ".join(regressions)
+        )
+    else:
+        lines.append(f"no regressions beyond {threshold_pct:g}%")
+    return "\n".join(lines), regressions
+
+
+def run_compare_cli(args) -> int:
+    """Execute ``bench compare <baseline> <current>``; 4 on regression.
+
+    File and format problems exit 2 with a message (distinct from the
+    regression code, so callers can script on the exit status).
+    """
+    try:
+        baseline = load_report(args.positional[1])
+        current = load_report(args.positional[2])
+        text, regressions = compare_reports(baseline, current, threshold_pct=args.threshold)
+    except OSError as exc:
+        print(f"bench compare: cannot read report: {exc}", file=sys.stderr)
+        return 2
+    except (ValueError, KeyError, TypeError) as exc:
+        print(f"bench compare: malformed report: {exc!r}", file=sys.stderr)
+        return 2
+    print(text)
+    return 4 if regressions else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover - thin CLI shim
     """Standalone entry point (``python -m repro.experiments bench`` wraps this)."""
     import argparse
@@ -423,6 +528,15 @@ def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover - thin CL
 
 def add_bench_arguments(parser) -> None:
     """Attach the bench flags to an (sub)parser; shared with the CLI."""
+    parser.add_argument(
+        "positional", nargs="*", metavar="compare A.json B.json",
+        help="subcommand: 'compare BASELINE CURRENT' diffs two bench reports "
+             "(per-case events/s delta; exit 4 on regression); empty = run the bench",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=5.0, metavar="PCT",
+        help="events/s drop (in %%) counted as a regression by 'compare' (default 5)",
+    )
     parser.add_argument(
         "--duration", type=float, default=None, metavar="SECONDS",
         help=f"simulated seconds per case (default {DEFAULT_DURATION_S})",
@@ -458,6 +572,16 @@ def add_bench_arguments(parser) -> None:
 
 def run_bench_cli(args) -> int:
     """Execute a parsed bench invocation; returns a process exit code."""
+    positional = list(getattr(args, "positional", []) or [])
+    if positional:
+        if positional[0] != "compare" or len(positional) != 3:
+            print(
+                "usage: bench [flags]  |  bench compare BASELINE.json CURRENT.json "
+                "[--threshold PCT]",
+                file=sys.stderr,
+            )
+            return 2
+        return run_compare_cli(args)
     # --quick only swaps in smaller *defaults*; explicit --duration,
     # --families and --schemes always win so the flags compose rather than
     # silently overriding each other.

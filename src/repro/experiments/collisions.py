@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.experiments.grids import scenario_grid, topology_axis
 from repro.experiments.parallel import SweepRunner
 from repro.experiments.runner import ScenarioConfig
 from repro.topology.standard import fig5a_topology, fig5b_topology
@@ -53,23 +54,22 @@ def regular_collisions_grid(
     Returns ``(configs, keys)`` where each key is the ``(scheme label,
     flow count)`` cell the same-index config fills.
     """
-    topologies = {n_flows: fig5a_topology(n_flows=n_flows) for n_flows in flow_counts}
-    configs: List[ScenarioConfig] = []
-    keys: List[Tuple[str, int]] = []
-    for label in schemes:
-        for n_flows in flow_counts:
-            configs.append(
-                ScenarioConfig(
-                    topology=topologies[n_flows],
-                    scheme_label=label,
-                    route_set="ROUTE0",
-                    bit_error_rate=bit_error_rate,
-                    duration_s=duration_s,
-                    seed=seed,
-                )
-            )
-            keys.append((label, n_flows))
-    return configs, keys
+    base = ScenarioConfig(
+        topology=fig5a_topology(n_flows=flow_counts[0]),
+        route_set="ROUTE0",
+        bit_error_rate=bit_error_rate,
+        duration_s=duration_s,
+        seed=seed,
+    )
+    return scenario_grid(
+        base,
+        {
+            "scheme_label": schemes,
+            "n_flows": topology_axis(
+                flow_counts, lambda n_flows: fig5a_topology(n_flows=n_flows)
+            ),
+        },
+    )
 
 
 def run_regular_collisions(
@@ -101,23 +101,22 @@ def hidden_collisions_grid(
     Returns ``(configs, keys)`` where each key is the ``(scheme label,
     hidden-flow count)`` cell the same-index config fills.
     """
-    topologies = {n_hidden: fig5b_topology(n_hidden=n_hidden) for n_hidden in hidden_counts}
-    configs: List[ScenarioConfig] = []
-    keys: List[Tuple[str, int]] = []
-    for label in schemes:
-        for n_hidden in hidden_counts:
-            configs.append(
-                ScenarioConfig(
-                    topology=topologies[n_hidden],
-                    scheme_label=label,
-                    route_set="ROUTE0",
-                    bit_error_rate=bit_error_rate,
-                    duration_s=duration_s,
-                    seed=seed,
-                )
-            )
-            keys.append((label, n_hidden))
-    return configs, keys
+    base = ScenarioConfig(
+        topology=fig5b_topology(n_hidden=hidden_counts[0]),
+        route_set="ROUTE0",
+        bit_error_rate=bit_error_rate,
+        duration_s=duration_s,
+        seed=seed,
+    )
+    return scenario_grid(
+        base,
+        {
+            "scheme_label": schemes,
+            "n_hidden": topology_axis(
+                hidden_counts, lambda n_hidden: fig5b_topology(n_hidden=n_hidden)
+            ),
+        },
+    )
 
 
 def run_hidden_collisions(

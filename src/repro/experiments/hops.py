@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.experiments.grids import scenario_grid, topology_axis
 from repro.experiments.parallel import SweepRunner
 from repro.experiments.runner import ScenarioConfig
 from repro.topology.standard import line_topology
@@ -43,25 +44,22 @@ def hops_grid(
     Returns ``(configs, keys)`` where each key is the ``(scheme label,
     hop count)`` cell the same-index config fills.
     """
-    topologies = {
-        hops: line_topology(hops, cross_traffic=cross_traffic) for hops in hop_counts
-    }
-    configs: List[ScenarioConfig] = []
-    keys: List[Tuple[str, int]] = []
-    for label in schemes:
-        for hops in hop_counts:
-            configs.append(
-                ScenarioConfig(
-                    topology=topologies[hops],
-                    scheme_label=label,
-                    route_set="ROUTE0",
-                    bit_error_rate=bit_error_rate,
-                    duration_s=duration_s,
-                    seed=seed,
-                )
-            )
-            keys.append((label, hops))
-    return configs, keys
+    base = ScenarioConfig(
+        topology=line_topology(hop_counts[0], cross_traffic=cross_traffic),
+        route_set="ROUTE0",
+        bit_error_rate=bit_error_rate,
+        duration_s=duration_s,
+        seed=seed,
+    )
+    return scenario_grid(
+        base,
+        {
+            "scheme_label": schemes,
+            "n_hops": topology_axis(
+                hop_counts, lambda hops: line_topology(hops, cross_traffic=cross_traffic)
+            ),
+        },
+    )
 
 
 def run_hops(

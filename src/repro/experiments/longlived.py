@@ -8,9 +8,10 @@ S / D / R1 / A / R16.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.experiments.grids import Axis, scenario_grid
 from repro.experiments.parallel import SweepRunner
 from repro.experiments.runner import (
     DEFAULT_SCHEME_LABELS,
@@ -47,24 +48,24 @@ def longlived_panel_grid(
     Returns ``(configs, keys)`` where each key is the ``(scheme label,
     flow count)`` cell the same-index config fills.
     """
-    topology = fig1_topology()
-    configs: List[ScenarioConfig] = []
-    keys: List[Tuple[str, int]] = []
-    for label in scheme_labels:
-        for flows in flow_sets:
-            configs.append(
-                ScenarioConfig(
-                    topology=topology,
-                    scheme_label=label,
-                    route_set=route_set,
-                    active_flows=list(flows),
-                    bit_error_rate=bit_error_rate,
-                    duration_s=duration_s,
-                    seed=seed,
-                )
-            )
-            keys.append((label, len(flows)))
-    return configs, keys
+    base = ScenarioConfig(
+        topology=fig1_topology(),
+        route_set=route_set,
+        bit_error_rate=bit_error_rate,
+        duration_s=duration_s,
+        seed=seed,
+    )
+    return scenario_grid(
+        base,
+        {
+            "scheme_label": scheme_labels,
+            "active_flows": Axis(
+                flow_sets,
+                bind=lambda config, flows: replace(config, active_flows=list(flows)),
+                key=len,
+            ),
+        },
+    )
 
 
 def run_longlived_panel(

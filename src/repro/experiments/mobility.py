@@ -25,9 +25,10 @@ links churn).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.experiments.grids import Axis, scenario_grid
 from repro.experiments.parallel import SweepRunner
 from repro.experiments.runner import ScenarioConfig
 from repro.experiments.voip import voip_topology
@@ -82,24 +83,24 @@ def mobility_tcp_grid(
     seed: int = 1,
 ) -> Tuple[List[ScenarioConfig], List[Tuple[str, float]]]:
     """The declarative grid for the TCP panel: ``(configs, (scheme, speed) keys)``."""
-    topology = fig1_topology()
-    configs: List[ScenarioConfig] = []
-    keys: List[Tuple[str, float]] = []
-    for label in schemes:
-        for speed in speeds:
-            configs.append(
-                ScenarioConfig(
-                    topology=topology,
-                    scheme_label=label,
-                    route_set="ROUTE0",
-                    active_flows=[1],
-                    duration_s=duration_s,
-                    seed=seed,
-                    mobility=mobility_spec(speed),
-                )
-            )
-            keys.append((label, float(speed)))
-    return configs, keys
+    base = ScenarioConfig(
+        topology=fig1_topology(),
+        route_set="ROUTE0",
+        active_flows=[1],
+        duration_s=duration_s,
+        seed=seed,
+    )
+    return scenario_grid(
+        base,
+        {
+            "scheme_label": schemes,
+            "speed": Axis(
+                speeds,
+                bind=lambda config, speed: replace(config, mobility=mobility_spec(speed)),
+                key=float,
+            ),
+        },
+    )
 
 
 def run_mobility_tcp(
@@ -127,25 +128,25 @@ def mobility_voip_grid(
     seed: int = 1,
 ) -> Tuple[List[ScenarioConfig], List[Tuple[str, float]]]:
     """The declarative grid for the VoIP panel: ``(configs, (scheme, speed) keys)``."""
-    topology = voip_topology()
-    configs: List[ScenarioConfig] = []
-    keys: List[Tuple[str, float]] = []
-    for label in schemes:
-        for speed in speeds:
-            configs.append(
-                ScenarioConfig(
-                    topology=topology,
-                    scheme_label=label,
-                    route_set="ROUTE0",
-                    active_flows=list(range(1, n_flows + 1)),
-                    duration_s=duration_s,
-                    seed=seed,
-                    phy=LOW_RATE_PHY,
-                    mobility=mobility_spec(speed),
-                )
-            )
-            keys.append((label, float(speed)))
-    return configs, keys
+    base = ScenarioConfig(
+        topology=voip_topology(),
+        route_set="ROUTE0",
+        active_flows=list(range(1, n_flows + 1)),
+        duration_s=duration_s,
+        seed=seed,
+        phy=LOW_RATE_PHY,
+    )
+    return scenario_grid(
+        base,
+        {
+            "scheme_label": schemes,
+            "speed": Axis(
+                speeds,
+                bind=lambda config, speed: replace(config, mobility=mobility_spec(speed)),
+                key=float,
+            ),
+        },
+    )
 
 
 def run_mobility_voip(

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.experiments.grids import scenario_grid
 from repro.experiments.parallel import SweepRunner
 from repro.experiments.runner import ScenarioConfig
 from repro.topology.standard import fig1_topology
@@ -42,19 +43,16 @@ def motivation_grid(
     duration_s: float = 1.0, bit_error_rate: float = 1e-6, seed: int = 1
 ) -> List[ScenarioConfig]:
     """The declarative config grid: one run per Section II scheme."""
-    topology = fig1_topology()
-    return [
-        ScenarioConfig(
-            topology=topology,
-            scheme_label=label,
-            route_set="ROUTE0",
-            active_flows=[1],
-            bit_error_rate=bit_error_rate,
-            duration_s=duration_s,
-            seed=seed,
-        )
-        for label in MOTIVATION_SCHEMES
-    ]
+    base = ScenarioConfig(
+        topology=fig1_topology(),
+        route_set="ROUTE0",
+        active_flows=[1],
+        bit_error_rate=bit_error_rate,
+        duration_s=duration_s,
+        seed=seed,
+    )
+    configs, _keys = scenario_grid(base, {"scheme_label": MOTIVATION_SCHEMES})
+    return configs
 
 
 def run_motivation(

@@ -62,8 +62,10 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 #: behaviour-bearing field, changed defaults, ...), so results cached by an
 #: older layout are never silently reused as if they matched.
 #:
-#: History: 1 = pre-mobility layout (PR 1); 2 = ``mobility`` field added.
-CACHE_SCHEMA_VERSION = 2
+#: History: 1 = pre-mobility layout (PR 1); 2 = ``mobility`` field added;
+#: 3 = component-spec layer (``mac``/``routing``/``traffic`` canonicalized
+#: against the scheme-label aliases, ``max_deviation_sigmas`` in ``phy``).
+CACHE_SCHEMA_VERSION = 3
 
 
 def config_digest(config: ScenarioConfig) -> str:

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.experiments.grids import Axis, scenario_grid
 from repro.experiments.parallel import SweepRunner
 from repro.experiments.runner import ScenarioConfig
 from repro.phy.params import HIGH_RATE_PHY, LOW_RATE_PHY, PhyParams
@@ -51,34 +52,43 @@ def roofnet_grid(
     Returns ``(configs, keys)`` where each key is the ``(scheme label,
     measured flow id, pair label)`` the same-index config measures.
     """
+    from dataclasses import replace
+
     topology = roofnet_scenario(hop_counts=hop_counts, include_hidden=hidden_terminals, seed=seed)
     measured = [flow for flow in topology.flows if flow.kind == "tcp"]
     if max_flows is not None:
         measured = measured[:max_flows]
     hidden = {flow.flow_id: flow for flow in topology.flows if flow.kind != "tcp"}
-    configs: List[ScenarioConfig] = []
-    keys: List[Tuple[str, int, str]] = []
-    for label in schemes:
-        for index, flow in enumerate(measured):
-            active = [flow.flow_id]
-            if hidden_terminals:
-                hidden_id = 200 + index
-                if hidden_id in hidden:
-                    active.append(hidden_id)
-            configs.append(
-                ScenarioConfig(
-                    topology=topology,
-                    scheme_label=label,
-                    route_set="ROUTE0",
-                    active_flows=active,
-                    bit_error_rate=bit_error_rate,
-                    duration_s=duration_s,
-                    seed=seed,
-                    phy=_phy_for_rate(data_rate_mbps),
-                )
-            )
-            keys.append((label, flow.flow_id, flow.label))
-    return configs, keys
+
+    def activate(config: ScenarioConfig, indexed) -> ScenarioConfig:
+        index, flow = indexed
+        active = [flow.flow_id]
+        if hidden_terminals:
+            hidden_id = 200 + index
+            if hidden_id in hidden:
+                active.append(hidden_id)
+        return replace(config, active_flows=active)
+
+    base = ScenarioConfig(
+        topology=topology,
+        route_set="ROUTE0",
+        bit_error_rate=bit_error_rate,
+        duration_s=duration_s,
+        seed=seed,
+        phy=_phy_for_rate(data_rate_mbps),
+    )
+    configs, keys = scenario_grid(
+        base,
+        {
+            "scheme_label": schemes,
+            "pair": Axis(
+                list(enumerate(measured)),
+                bind=activate,
+                key=lambda indexed: (indexed[1].flow_id, indexed[1].label),
+            ),
+        },
+    )
+    return configs, [(label, flow_id, flow_label) for label, (flow_id, flow_label) in keys]
 
 
 def run_roofnet(

@@ -1,13 +1,23 @@
 """Scenario assembly and execution shared by every experiment.
 
 An experiment module (one per paper table/figure) describes *what* to run
-— a topology spec, a route set, which flows are active, which scheme label
-from the paper's figures — and this module turns that into a wired-up
+— a topology spec, a route set, which flows are active, which components
+each layer installs — and this module turns that into a wired-up
 :class:`~repro.topology.network.WirelessNetwork`, runs it, and collects
 per-flow results.
 
-The paper's figure legends use five scheme labels; they map onto the
-library's MAC schemes and route choices as follows:
+Scenarios are **registry-driven**: the MAC scheme, routing strategy and
+traffic kinds are looked up by name in the component registries
+(:data:`repro.mac.registry.MAC_SCHEMES`,
+:data:`repro.routing.registry.ROUTING_STRATEGIES`,
+:data:`repro.traffic.registry.TRAFFIC_KINDS`) from the structured
+``mac=``/``routing=``/``traffic=`` fields of :class:`ScenarioConfig` —
+see :mod:`repro.spec` for the spec classes and
+``python -m repro.experiments run --spec/--set`` for the CLI face.
+
+The paper's figure legends use five scheme labels; they remain available
+as a thin alias layer (``scheme_label=``) that expands to the equivalent
+specs:
 
 ========  =========================  =============================
 label     MAC scheme                 route used
@@ -18,6 +28,10 @@ label     MAC scheme                 route used
 ``R1``    ``ripple1`` (no aggr.)     the predetermined route set
 ``R16``   ``ripple`` (16-pkt aggr.)  the predetermined route set
 ========  =========================  =============================
+
+A config built from a label and one built from the expanded specs are
+the same scenario: they produce bit-identical results and canonicalize
+to the same serialized form (hence the same sweep-cache digest).
 """
 
 from __future__ import annotations
@@ -25,22 +39,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.metrics.flows import FlowResult, summarize_tcp_flow, summarize_udp_flow, total_throughput_mbps
+from repro.metrics.flows import FlowResult, total_throughput_mbps
 from repro.metrics.mos import VoipQuality
 from repro.mobility.spec import MobilitySpec
 from repro.phy.error_models import BitErrorModel
 from repro.phy.params import PhyParams
 from repro.routing.dynamic import AdaptiveEtxRouting
-from repro.routing.static import StaticRouting
+from repro.serialization import require_known_keys
 from repro.sim.units import seconds
+from repro.spec import MacSpec, RoutingSpec, TrafficSpec
 from repro.topology.network import WirelessNetwork
 from repro.topology.spec import FlowSpec, TopologySpec
-from repro.traffic.cbr import SaturatingSource
-from repro.traffic.ftp import FtpApplication
-from repro.traffic.voip import VoipFlow
-from repro.traffic.web import WebFlow
-from repro.transport.tcp import TcpSender, TcpSink
-from repro.transport.udp import UdpReceiver, UdpSender
 
 #: Paper figure label -> (library scheme name, route-set override or None).
 PAPER_SCHEMES: Dict[str, Tuple[str, Optional[str]]] = {
@@ -55,6 +64,32 @@ PAPER_SCHEMES: Dict[str, Tuple[str, Optional[str]]] = {
 
 #: Default order in which the figures plot the scheme bars.
 DEFAULT_SCHEME_LABELS: Tuple[str, ...] = ("S", "D", "R1", "A", "R16")
+
+#: The traffic spec meaning "each flow keeps its own FlowSpec.kind".
+PER_FLOW_TRAFFIC = TrafficSpec("flows")
+
+
+def resolve_scheme(scheme_label: str, default_route_set: str) -> Tuple[str, str]:
+    """Map a paper scheme label onto (library scheme, route set)."""
+    if scheme_label not in PAPER_SCHEMES:
+        raise ValueError(f"unknown scheme label {scheme_label!r}; known: {sorted(PAPER_SCHEMES)}")
+    scheme, route_override = PAPER_SCHEMES[scheme_label]
+    return scheme, route_override or default_route_set
+
+
+def expand_scheme_label(scheme_label: str, route_set: str) -> Tuple[MacSpec, RoutingSpec]:
+    """The alias layer: a figure label as its equivalent component specs.
+
+    The routing spec only carries a ``route_set`` parameter when the label
+    overrides the scenario's own route set (the "S" bars force the DIRECT
+    table), so the expansion of a plain label stays parameter-free and
+    canonical.
+    """
+    scheme, resolved_route_set = resolve_scheme(scheme_label, route_set)
+    routing_params: Dict[str, object] = {}
+    if resolved_route_set != route_set:
+        routing_params["route_set"] = resolved_route_set
+    return MacSpec(scheme), RoutingSpec("static", routing_params)
 
 
 @dataclass
@@ -76,15 +111,60 @@ class ScenarioConfig:
     #: Time-varying topology; None (or a static spec) reproduces the paper's
     #: fixed-placement behaviour exactly.
     mobility: Optional[MobilitySpec] = None
+    #: Structured component specs.  Each defaults to None, meaning "derive
+    #: from ``scheme_label`` through the alias layer" (mac/routing) or
+    #: "per-flow kinds" (traffic); setting one overrides just that layer.
+    mac: Optional[MacSpec] = None
+    routing: Optional[RoutingSpec] = None
+    traffic: Optional[TrafficSpec] = None
 
+    # ------------------------------------------------------------------
+    # Component resolution (the registry-facing view)
+    # ------------------------------------------------------------------
+    def resolved_components(self) -> Tuple[MacSpec, RoutingSpec, TrafficSpec]:
+        """The (mac, routing, traffic) specs this config actually installs."""
+        mac_default, routing_default = expand_scheme_label(self.scheme_label, self.route_set)
+        return (
+            (self.mac or mac_default).canonical(),
+            (self.routing or routing_default).canonical(),
+            (self.traffic or PER_FLOW_TRAFFIC).canonical(),
+        )
+
+    def canonical_scheme_label(self) -> Optional[str]:
+        """The figure label equivalent to this config's components, if any.
+
+        A config that never set explicit specs is its own label.  A config
+        whose explicit specs exactly match a label's expansion (with
+        per-flow traffic) collapses back to that label — this is what
+        makes the legacy and spec-addressed forms of the same scenario
+        serialize (and therefore cache) identically.  Returns None when
+        the combination has no label.
+        """
+        if self.mac is None and self.routing is None and self.traffic is None:
+            return self.scheme_label
+        mac, routing, traffic = self.resolved_components()
+        if traffic != PER_FLOW_TRAFFIC:
+            return None
+        for label in PAPER_SCHEMES:
+            label_mac, label_routing = expand_scheme_label(label, self.route_set)
+            if mac == label_mac and routing == label_routing:
+                return label
+        return None
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
         """Canonical JSON-safe representation.
 
         The sweep cache hashes this dict (sorted-key JSON) to key cached
         results, so every field that influences the simulation must appear
-        here and the representation must be deterministic.
+        here and the representation must be deterministic.  Component
+        specs are canonicalized: when they are equivalent to a scheme
+        label the dict keeps the legacy label-only layout, otherwise the
+        label is None and the specs appear explicitly.
         """
-        return {
+        data: Dict[str, object] = {
             "topology": self.topology.to_dict(),
             "scheme_label": self.scheme_label,
             "route_set": self.route_set,
@@ -99,19 +179,38 @@ class ScenarioConfig:
             "max_aggregation": self.max_aggregation,
             "mobility": None if self.mobility is None else self.mobility.to_dict(),
         }
+        label = self.canonical_scheme_label()
+        if label is None:
+            mac, routing, traffic = self.resolved_components()
+            data["scheme_label"] = None
+            data["mac"] = mac.to_dict()
+            data["routing"] = routing.to_dict()
+            data["traffic"] = traffic.to_dict()
+        else:
+            data["scheme_label"] = label
+        return data
+
+    _FIELDS = (
+        "topology", "scheme_label", "route_set", "active_flows",
+        "bit_error_rate", "duration_s", "warmup_s", "seed", "phy",
+        "tcp_window", "max_forwarders", "max_aggregation", "mobility",
+        "mac", "routing", "traffic",
+    )
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ScenarioConfig":
-        from repro.phy.params import PhyParams
-        from repro.topology.spec import TopologySpec
-
+        require_known_keys(data, cls._FIELDS, cls.__name__)
         phy = data.get("phy")
         active = data.get("active_flows")
         max_aggregation = data.get("max_aggregation")
         mobility = data.get("mobility")
+        mac = data.get("mac")
+        routing = data.get("routing")
+        traffic = data.get("traffic")
+        scheme_label = data.get("scheme_label", "D")
         return cls(
             topology=TopologySpec.from_dict(data["topology"]),
-            scheme_label=str(data["scheme_label"]),
+            scheme_label="D" if scheme_label is None else str(scheme_label),
             route_set=str(data["route_set"]),
             active_flows=None if active is None else [int(f) for f in active],
             bit_error_rate=float(data["bit_error_rate"]),
@@ -123,6 +222,9 @@ class ScenarioConfig:
             max_forwarders=int(data.get("max_forwarders", 5)),
             max_aggregation=None if max_aggregation is None else int(max_aggregation),
             mobility=None if mobility is None else MobilitySpec.from_dict(mobility),
+            mac=None if mac is None else MacSpec.from_dict(mac),
+            routing=None if routing is None else RoutingSpec.from_dict(routing),
+            traffic=None if traffic is None else TrafficSpec.from_dict(traffic),
         )
 
 
@@ -165,6 +267,9 @@ class ScenarioResult:
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ScenarioResult":
+        require_known_keys(
+            data, ("config", "flows", "voip_quality", "events_processed"), cls.__name__
+        )
         return cls(
             config=ScenarioConfig.from_dict(data["config"]),
             flows=[FlowResult.from_dict(flow) for flow in data.get("flows", [])],
@@ -176,47 +281,43 @@ class ScenarioResult:
         )
 
 
-def resolve_scheme(scheme_label: str, default_route_set: str) -> Tuple[str, str]:
-    """Map a paper scheme label onto (library scheme, route set)."""
-    if scheme_label not in PAPER_SCHEMES:
-        raise ValueError(f"unknown scheme label {scheme_label!r}; known: {sorted(PAPER_SCHEMES)}")
-    scheme, route_override = PAPER_SCHEMES[scheme_label]
-    return scheme, route_override or default_route_set
-
-
 def build_network(config: ScenarioConfig) -> Tuple[WirelessNetwork, object]:
-    """Create the network, install the scheme's stack and the transport layer.
+    """Create the network, install the configured component stack.
 
-    With a live (non-static) ``config.mobility``, the predetermined route
-    table becomes the *fallback* of an
+    The MAC scheme and routing strategy come from the component
+    registries via ``config.resolved_components()`` — either explicit
+    ``mac=``/``routing=`` specs or the ``scheme_label`` alias expansion.
+
+    With a live (non-static) ``config.mobility``, a non-adaptive routing
+    protocol becomes the *fallback* of an
     :class:`~repro.routing.dynamic.AdaptiveEtxRouting` over the initial
     connectivity graph, and a mobility manager is installed that moves the
     radios and periodically re-estimates links so routes and forwarder
     lists track the changing topology.  A ``None`` or static spec leaves
     the build byte-for-byte identical to the fixed-placement path.
     """
-    scheme, route_set = resolve_scheme(config.scheme_label, config.route_set)
-    topology = config.topology
-    if route_set not in topology.route_sets:
-        raise KeyError(f"topology {topology.name} has no route set {route_set!r}")
+    from repro.routing.registry import ROUTING_STRATEGIES
+
+    mac_spec, routing_spec, _traffic_spec = config.resolved_components()
     network = WirelessNetwork(
         phy=config.phy,
         error_model=BitErrorModel(config.bit_error_rate),
         seed=config.seed,
     )
-    network.add_nodes(topology.positions)
-    routing = StaticRouting(topology.routes(route_set), max_forwarders=config.max_forwarders)
+    network.add_nodes(config.topology.positions)
+    routing_builder = ROUTING_STRATEGIES.lookup(routing_spec.name)
+    routing = routing_builder(network, config, **routing_spec.params)
     mobile = config.mobility is not None and not config.mobility.is_static
-    if mobile:
+    if mobile and not isinstance(routing, AdaptiveEtxRouting):
         routing = AdaptiveEtxRouting(
             network.connectivity_graph(),
             fallback=routing,
             max_forwarders=config.max_forwarders,
         )
-    mac_kwargs = {}
+    mac_kwargs = dict(mac_spec.params)
     if config.max_aggregation is not None:
         mac_kwargs["max_aggregation"] = config.max_aggregation
-    network.install_stack(scheme, routing, **mac_kwargs)
+    network.install_stack(mac_spec.name, routing, **mac_kwargs)
     network.install_transport()
     if mobile:
         network.install_mobility(config.mobility)
@@ -231,88 +332,46 @@ def _active_flows(config: ScenarioConfig) -> List[FlowSpec]:
 
 
 def run_scenario(config: ScenarioConfig) -> ScenarioResult:
-    """Build, run and summarise one scenario."""
+    """Build, run and summarise one scenario.
+
+    Traffic is installed through the traffic-kind registry: each active
+    flow's kind (its own ``FlowSpec.kind``, or the config's ``traffic``
+    spec when that forces a single kind) resolves to an installer that
+    wires the senders/receivers and returns a driver used for warmup
+    resets and result summaries.
+    """
+    from repro.traffic.registry import TRAFFIC_KINDS
+
     network, _routing = build_network(config)
     duration_ns = seconds(config.duration_s)
     flows = _active_flows(config)
-    sinks: Dict[int, TcpSink] = {}
-    receivers: Dict[int, UdpReceiver] = {}
-    senders: Dict[int, object] = {}
-    voip_flows: Dict[int, VoipFlow] = {}
+    _mac, _rt, traffic_spec = config.resolved_components()
+    drivers = []
     for flow in flows:
-        src_host = network.node(flow.src).transport
-        dst_host = network.node(flow.dst).transport
-        if flow.kind == "tcp":
-            sender = TcpSender(
-                network.sim, src_host, flow.flow_id, flow.dst, awnd_segments=config.tcp_window
+        kind = flow.kind if traffic_spec.per_flow else traffic_spec.name
+        installer = TRAFFIC_KINDS.get(kind)
+        if installer is None:
+            raise ValueError(
+                f"unknown flow kind {kind!r}; known: {TRAFFIC_KINDS.known_names()}"
             )
-            sink = TcpSink(network.sim, dst_host, flow.flow_id, peer=flow.src)
-            FtpApplication(sender).start()
-            sinks[flow.flow_id] = sink
-            senders[flow.flow_id] = sender
-        elif flow.kind == "web":
-            sender = TcpSender(
-                network.sim, src_host, flow.flow_id, flow.dst, awnd_segments=config.tcp_window
-            )
-            sink = TcpSink(network.sim, dst_host, flow.flow_id, peer=flow.src)
-            web = WebFlow(network.sim, sender, network.rng.stream_for("web", flow.flow_id))
-            web.start()
-            sinks[flow.flow_id] = sink
-            senders[flow.flow_id] = sender
-        elif flow.kind == "udp-saturating":
-            udp_sender = UdpSender(network.sim, src_host, flow.flow_id, flow.dst)
-            receiver = UdpReceiver(network.sim, dst_host, flow.flow_id)
-            source = SaturatingSource(network.sim, udp_sender, network.node(flow.src).mac)
-            source.start()
-            receivers[flow.flow_id] = receiver
-            senders[flow.flow_id] = udp_sender
-        elif flow.kind == "voip":
-            udp_sender = UdpSender(network.sim, src_host, flow.flow_id, flow.dst)
-            receiver = UdpReceiver(network.sim, dst_host, flow.flow_id)
-            voip = VoipFlow(
-                network.sim,
-                udp_sender,
-                receiver,
-                network.rng.stream_for("voip", flow.flow_id),
-            )
-            voip.start()
-            receivers[flow.flow_id] = receiver
-            voip_flows[flow.flow_id] = voip
-            senders[flow.flow_id] = udp_sender
-        else:
-            raise ValueError(f"unknown flow kind {flow.kind!r}")
+        drivers.append(installer(network, config, flow, **traffic_spec.params))
     if config.warmup_s > 0:
         # Let the scenario reach steady state, then zero every flow counter so
         # the summaries below cover only the measurement window (dividing
         # since-t=0 byte counts by duration_ns would inflate throughput).
         network.run_seconds(config.warmup_s)
-        for sink in sinks.values():
-            sink.reset_stats()
-        for receiver in receivers.values():
-            receiver.reset_stats()
-        for sender in senders.values():
-            reset = getattr(sender, "reset_stats", None)
-            if reset is not None:
-                reset()
-        for voip in voip_flows.values():
-            voip.reset_stats()
+        for driver in drivers:
+            driver.reset_stats()
     network.run_seconds(config.duration_s)
     result = ScenarioResult(config=config, events_processed=network.sim.processed_events)
-    for flow in flows:
-        if flow.flow_id in sinks:
-            result.flows.append(
-                summarize_tcp_flow(flow.flow_id, flow.src, flow.dst, sinks[flow.flow_id], duration_ns)
-            )
-        elif flow.flow_id in receivers:
-            sender = senders[flow.flow_id]
-            sent = getattr(sender, "stats").sent
-            result.flows.append(
-                summarize_udp_flow(
-                    flow.flow_id, flow.src, flow.dst, receivers[flow.flow_id], sent, duration_ns
-                )
-            )
-    for flow_id, voip in voip_flows.items():
-        result.voip_quality[flow_id] = voip.quality()
+    for driver in drivers:
+        flow_result = driver.summarize(duration_ns)
+        if flow_result is not None:
+            result.flows.append(flow_result)
+    for driver in drivers:
+        quality = driver.quality()
+        if quality is not None:
+            result.voip_quality[driver.flow.flow_id] = quality
     return result
 
 

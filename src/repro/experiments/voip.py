@@ -9,14 +9,15 @@ and 1e-6, under DCF/ROUTE0, AFR/ROUTE0 and RIPPLE.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.experiments.grids import Axis, scenario_grid
 from repro.experiments.parallel import SweepRunner
 from repro.experiments.runner import ScenarioConfig
 from repro.phy.params import LOW_RATE_PHY
-from repro.topology.spec import FlowSpec, TopologySpec
-from repro.topology.standard import fig1_topology
+from repro.topology.spec import TopologySpec
+from repro.topology.standard import voip_topology as _voip_topology
 
 #: Schemes reported in Table III.
 VOIP_SCHEMES: tuple[str, ...] = ("D", "A", "R16")
@@ -27,19 +28,13 @@ VOIP_FLOW_GROUPS: Tuple[int, ...] = (10, 20, 30)
 
 
 def voip_topology(flows_per_pair: int = VOIP_FLOWS_PER_PAIR) -> TopologySpec:
-    """The Fig. 1 topology carrying VoIP streams instead of TCP flows."""
-    base = fig1_topology()
-    pairs = [(0, 3), (0, 4), (5, 7)]
-    flows: List[FlowSpec] = []
-    flow_id = 1
-    for src, dst in pairs:
-        for _ in range(flows_per_pair):
-            flows.append(
-                FlowSpec(flow_id=flow_id, src=src, dst=dst, kind="voip", label=f"voip {src}->{dst}")
-            )
-            flow_id += 1
-    base.flows = flows
-    return base
+    """The Fig. 1 topology carrying VoIP streams instead of TCP flows.
+
+    Now lives in :mod:`repro.topology.standard` (registered as
+    ``fig1-voip``/``voip`` in the topology registry); re-exported here for
+    backward compatibility.
+    """
+    return _voip_topology(flows_per_pair=flows_per_pair)
 
 
 @dataclass
@@ -65,25 +60,24 @@ def voip_grid(
     Returns ``(configs, keys)`` where each key is the ``(scheme label,
     flow count)`` cell the same-index config fills.
     """
-    topology = voip_topology()
-    configs: List[ScenarioConfig] = []
-    keys: List[Tuple[str, int]] = []
-    for label in schemes:
-        for n_flows in flow_groups:
-            configs.append(
-                ScenarioConfig(
-                    topology=topology,
-                    scheme_label=label,
-                    route_set="ROUTE0",
-                    active_flows=list(range(1, n_flows + 1)),
-                    bit_error_rate=bit_error_rate,
-                    duration_s=duration_s,
-                    seed=seed,
-                    phy=LOW_RATE_PHY,
-                )
-            )
-            keys.append((label, n_flows))
-    return configs, keys
+    base = ScenarioConfig(
+        topology=voip_topology(),
+        route_set="ROUTE0",
+        bit_error_rate=bit_error_rate,
+        duration_s=duration_s,
+        seed=seed,
+        phy=LOW_RATE_PHY,
+    )
+    return scenario_grid(
+        base,
+        {
+            "scheme_label": schemes,
+            "active_flows": Axis(
+                flow_groups,
+                bind=lambda config, n: replace(config, active_flows=list(range(1, n + 1))),
+            ),
+        },
+    )
 
 
 def run_voip(

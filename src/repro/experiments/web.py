@@ -12,10 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.experiments.grids import scenario_grid
 from repro.experiments.parallel import SweepRunner
 from repro.experiments.runner import ScenarioConfig
-from repro.topology.spec import FlowSpec, TopologySpec
-from repro.topology.standard import fig1_topology
+from repro.topology.spec import TopologySpec
+from repro.topology.standard import web_topology as _web_topology
 
 #: Schemes plotted in Fig. 8.
 WEB_SCHEMES: tuple[str, ...] = ("D", "A", "R16")
@@ -24,17 +25,13 @@ WEB_FLOWS_PER_PAIR = 10
 
 
 def web_topology(flows_per_pair: int = WEB_FLOWS_PER_PAIR) -> TopologySpec:
-    """The Fig. 1 topology re-flavoured with ``flows_per_pair`` web flows per pair."""
-    base = fig1_topology()
-    pairs = [(0, 3), (0, 4), (5, 7)]
-    flows: List[FlowSpec] = []
-    flow_id = 1
-    for src, dst in pairs:
-        for _ in range(flows_per_pair):
-            flows.append(FlowSpec(flow_id=flow_id, src=src, dst=dst, kind="web", label=f"web {src}->{dst}"))
-            flow_id += 1
-    base.flows = flows
-    return base
+    """The Fig. 1 topology re-flavoured with ``flows_per_pair`` web flows per pair.
+
+    Now lives in :mod:`repro.topology.standard` (registered as
+    ``fig1-web``/``web`` in the topology registry); re-exported here for
+    backward compatibility.
+    """
+    return _web_topology(flows_per_pair=flows_per_pair)
 
 
 @dataclass
@@ -55,18 +52,15 @@ def web_grid(
     seed: int = 1,
 ) -> List[ScenarioConfig]:
     """The declarative config grid for Fig. 8: one run per scheme."""
-    topology = web_topology(flows_per_pair)
-    return [
-        ScenarioConfig(
-            topology=topology,
-            scheme_label=label,
-            route_set="ROUTE0",
-            bit_error_rate=bit_error_rate,
-            duration_s=duration_s,
-            seed=seed,
-        )
-        for label in schemes
-    ]
+    base = ScenarioConfig(
+        topology=web_topology(flows_per_pair),
+        route_set="ROUTE0",
+        bit_error_rate=bit_error_rate,
+        duration_s=duration_s,
+        seed=seed,
+    )
+    configs, _keys = scenario_grid(base, {"scheme_label": schemes})
+    return configs
 
 
 def run_web_traffic(

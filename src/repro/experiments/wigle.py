@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.experiments.grids import Axis, scenario_grid
 from repro.experiments.parallel import SweepRunner
 from repro.experiments.runner import ScenarioConfig
 from repro.phy.params import HIGH_RATE_PHY, LOW_RATE_PHY, PhyParams
@@ -50,30 +51,36 @@ def wigle_grid(
     Returns ``(configs, keys)`` where each key is the ``(scheme label,
     measured flow id, flow label)`` the same-index config measures.
     """
+    from dataclasses import replace
+
     topology = wigle_topology(include_hidden=True)
     measured = [flow for flow in topology.flows if flow.flow_id < 100]
     if max_flows is not None:
         measured = measured[:max_flows]
     hidden_ids = [flow.flow_id for flow in topology.flows if flow.flow_id >= 100]
-    configs: List[ScenarioConfig] = []
-    keys: List[Tuple[str, int, str]] = []
-    for label in schemes:
-        for flow in measured:
-            active = [flow.flow_id] + (hidden_ids if hidden_traffic else [])
-            configs.append(
-                ScenarioConfig(
-                    topology=topology,
-                    scheme_label=label,
-                    route_set="ROUTE0",
-                    active_flows=active,
-                    bit_error_rate=bit_error_rate,
-                    duration_s=duration_s,
-                    seed=seed,
-                    phy=_phy_for_rate(data_rate_mbps),
-                )
-            )
-            keys.append((label, flow.flow_id, flow.label))
-    return configs, keys
+
+    def activate(config: ScenarioConfig, flow) -> ScenarioConfig:
+        active = [flow.flow_id] + (hidden_ids if hidden_traffic else [])
+        return replace(config, active_flows=active)
+
+    base = ScenarioConfig(
+        topology=topology,
+        route_set="ROUTE0",
+        bit_error_rate=bit_error_rate,
+        duration_s=duration_s,
+        seed=seed,
+        phy=_phy_for_rate(data_rate_mbps),
+    )
+    configs, keys = scenario_grid(
+        base,
+        {
+            "scheme_label": schemes,
+            "pair": Axis(
+                measured, bind=activate, key=lambda flow: (flow.flow_id, flow.label)
+            ),
+        },
+    )
+    return configs, [(label, flow_id, flow_label) for label, (flow_id, flow_label) in keys]
 
 
 def run_wigle(

@@ -10,10 +10,14 @@ from repro.mac.base import ChannelAccess, MacLayer, RouteDecision
 from repro.mac.dcf import DcfMac
 from repro.mac.frames import FrameKind, MacFrame, SubPacket, build_ack_frame, build_data_frame
 from repro.mac.queues import DropTailQueue, ReorderBuffer
+from repro.mac.registry import MAC_SCHEMES, SchemeInfo, register_mac_scheme
 from repro.mac.stats import MacStats
 from repro.mac.timing import DEFAULT_TIMING, MacTiming
 
 __all__ = [
+    "MAC_SCHEMES",
+    "SchemeInfo",
+    "register_mac_scheme",
     "AFR_MAX_AGGREGATION",
     "AfrMac",
     "ChannelAccess",

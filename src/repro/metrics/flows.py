@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from typing import Dict, List, Optional, Sequence
 
+from repro.serialization import require_known_keys
 from repro.sim.units import ns_to_seconds
 from repro.transport.tcp import TcpSink
 from repro.transport.udp import UdpReceiver
@@ -38,6 +39,7 @@ class FlowResult:
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "FlowResult":
+        require_known_keys(data, (f.name for f in fields(cls)), cls.__name__)
         return cls(
             flow_id=int(data["flow_id"]),
             kind=str(data["kind"]),

@@ -23,6 +23,8 @@ import math
 from dataclasses import asdict, dataclass
 from typing import Iterable, Sequence
 
+from repro.serialization import require_known_keys
+
 #: Mouth-to-ear delay budget used in the paper (milliseconds).
 MOUTH_TO_EAR_DELAY_MS = 177.0
 #: Portion of the budget allowed for the wireless segment (milliseconds).
@@ -82,6 +84,7 @@ class VoipQuality:
 
     @classmethod
     def from_dict(cls, data: dict) -> "VoipQuality":
+        require_known_keys(data, ("delay_ms", "loss_rate", "r_factor", "mos"), cls.__name__)
         return cls(
             delay_ms=float(data["delay_ms"]),
             loss_rate=float(data["loss_rate"]),

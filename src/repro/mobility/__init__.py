@@ -23,15 +23,19 @@ Determinism rules (the test-suite enforces all three):
 
 from repro.mobility.manager import MobilityManager
 from repro.mobility.models import (
+    MOBILITY_MODELS,
     GaussMarkov,
     MobilityModel,
     RandomWaypoint,
     StaticMobility,
     TraceMobility,
+    register_mobility_model,
 )
 from repro.mobility.spec import MobilitySpec
 
 __all__ = [
+    "MOBILITY_MODELS",
+    "register_mobility_model",
     "GaussMarkov",
     "MobilityManager",
     "MobilityModel",

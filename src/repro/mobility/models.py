@@ -355,3 +355,72 @@ class TraceMobility(MobilityModel):
                 fraction = (now_s - t0) / (t1 - t0)
                 return (x0 + (x1 - x0) * fraction, y0 + (y1 - y0) * fraction)
         return (samples[-1][1], samples[-1][2])  # pragma: no cover - unreachable
+
+
+# ----------------------------------------------------------------------
+# The mobility model registry
+# ----------------------------------------------------------------------
+from repro.registry import Registry  # noqa: E402  (registry carries no deps)
+
+#: Named mobility-model builders; :class:`~repro.mobility.spec.MobilitySpec`
+#: validates against and instantiates through this registry, so a new model
+#: registered here is immediately addressable from scenario specs and the
+#: CLI (``--set mobility=<name>``).
+MOBILITY_MODELS = Registry("mobility model")
+
+
+def register_mobility_model(name: str):
+    """Decorator registering ``build(params, bounds) -> MobilityModel``.
+
+    ``params`` is the spec's model-parameter dict (the builder pops what it
+    understands and must reject leftovers); ``bounds`` is the already
+    normalised movement rectangle or None.
+    """
+    return MOBILITY_MODELS.register(name)
+
+
+@register_mobility_model("static")
+def _build_static(params: Dict[str, object], bounds: Optional[Bounds]) -> MobilityModel:
+    if params:
+        raise ValueError(f"static mobility takes no parameters, got {sorted(params)}")
+    return StaticMobility()
+
+
+@register_mobility_model("random_waypoint")
+def _build_random_waypoint(params: Dict[str, object], bounds: Optional[Bounds]) -> MobilityModel:
+    model = RandomWaypoint(
+        speed_min_mps=float(params.pop("speed_min_mps", 0.0)),
+        speed_max_mps=float(params.pop("speed_max_mps", 1.0)),
+        pause_s=float(params.pop("pause_s", 0.0)),
+        bounds=bounds,
+    )
+    if params:
+        raise ValueError(f"unknown random_waypoint parameters: {sorted(params)}")
+    return model
+
+
+@register_mobility_model("gauss_markov")
+def _build_gauss_markov(params: Dict[str, object], bounds: Optional[Bounds]) -> MobilityModel:
+    model = GaussMarkov(
+        mean_speed_mps=float(params.pop("mean_speed_mps", 1.0)),
+        alpha=float(params.pop("alpha", 0.85)),
+        speed_std_mps=float(params.pop("speed_std_mps", 0.3)),
+        heading_std_rad=float(params.pop("heading_std_rad", 0.5)),
+        bounds=bounds,
+    )
+    if params:
+        raise ValueError(f"unknown gauss_markov parameters: {sorted(params)}")
+    return model
+
+
+@register_mobility_model("trace")
+def _build_trace(params: Dict[str, object], bounds: Optional[Bounds]) -> MobilityModel:
+    traces = params.pop("traces", {})
+    if params:
+        raise ValueError(f"unknown trace-mobility parameters: {sorted(params)}")
+    return TraceMobility(
+        {
+            int(node_id): [(float(t), float(x), float(y)) for t, x, y in samples]
+            for node_id, samples in traces.items()
+        }
+    )

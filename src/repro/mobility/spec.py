@@ -13,17 +13,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.mobility.models import (
-    Bounds,
-    GaussMarkov,
-    MobilityModel,
-    RandomWaypoint,
-    StaticMobility,
-    TraceMobility,
-)
+from repro.mobility.models import MOBILITY_MODELS, Bounds, MobilityModel
+from repro.serialization import require_known_keys
 
-#: Model names accepted by :class:`MobilitySpec`.
-MODEL_NAMES = ("static", "random_waypoint", "gauss_markov", "trace")
+
+def _model_names() -> tuple:
+    return MOBILITY_MODELS.names()
+
+
+#: Model names accepted by :class:`MobilitySpec` (the registry's contents).
+MODEL_NAMES = _model_names()
 
 
 @dataclass
@@ -41,8 +40,10 @@ class MobilitySpec:
     params: Dict[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        if self.model not in MODEL_NAMES:
-            raise ValueError(f"unknown mobility model {self.model!r}; known: {MODEL_NAMES}")
+        if self.model not in MOBILITY_MODELS:
+            raise ValueError(
+                f"unknown mobility model {self.model!r}; known: {_model_names()}"
+            )
         if self.update_interval_s <= 0:
             raise ValueError("update_interval_s must be positive")
         if self.reestimate_interval_s < 0:
@@ -129,46 +130,17 @@ class MobilitySpec:
         return not self.params.get("traces")  # "trace"
 
     def build_model(self) -> MobilityModel:
-        """Instantiate the configured model (validates the parameters)."""
+        """Instantiate the configured model through the registry.
+
+        The registered builder validates the model-specific parameters
+        (unknown keys raise a ValueError naming the model).
+        """
         params = dict(self.params)
         bounds = params.pop("bounds", None)
         if bounds is not None:
             bounds = tuple(float(v) for v in bounds)
-        if self.model == "static":
-            if params:
-                raise ValueError(f"static mobility takes no parameters, got {sorted(params)}")
-            return StaticMobility()
-        if self.model == "random_waypoint":
-            model = RandomWaypoint(
-                speed_min_mps=float(params.pop("speed_min_mps", 0.0)),
-                speed_max_mps=float(params.pop("speed_max_mps", 1.0)),
-                pause_s=float(params.pop("pause_s", 0.0)),
-                bounds=bounds,
-            )
-            if params:
-                raise ValueError(f"unknown random_waypoint parameters: {sorted(params)}")
-            return model
-        if self.model == "gauss_markov":
-            model = GaussMarkov(
-                mean_speed_mps=float(params.pop("mean_speed_mps", 1.0)),
-                alpha=float(params.pop("alpha", 0.85)),
-                speed_std_mps=float(params.pop("speed_std_mps", 0.3)),
-                heading_std_rad=float(params.pop("heading_std_rad", 0.5)),
-                bounds=bounds,
-            )
-            if params:
-                raise ValueError(f"unknown gauss_markov parameters: {sorted(params)}")
-            return model
-        # self.model == "trace" (guaranteed by __post_init__)
-        traces = params.pop("traces", {})
-        if params:
-            raise ValueError(f"unknown trace-mobility parameters: {sorted(params)}")
-        return TraceMobility(
-            {
-                int(node_id): [(float(t), float(x), float(y)) for t, x, y in samples]
-                for node_id, samples in traces.items()
-            }
-        )
+        builder = MOBILITY_MODELS.lookup(self.model)
+        return builder(params, bounds)
 
     # ------------------------------------------------------------------
     # Serialization (sweep cache / cross-process exchange)
@@ -187,6 +159,11 @@ class MobilitySpec:
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "MobilitySpec":
+        require_known_keys(
+            data,
+            ("model", "update_interval_s", "reestimate_interval_s", "mobile_nodes", "params"),
+            cls.__name__,
+        )
         mobile = data.get("mobile_nodes")
         return cls(
             model=str(data["model"]),

@@ -14,8 +14,9 @@ rate (``T_phyhdr`` in the paper's overhead formulas).
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, replace
+from dataclasses import asdict, dataclass, fields, replace
 
+from repro.serialization import require_known_keys
 from repro.sim.units import transmission_time_ns, us
 
 
@@ -30,6 +31,12 @@ class PhyParams:
     rx_threshold_dbm: float = -135.5  # nominal decode range ~250 m (see propagation)
     cs_threshold_dbm: float = -145.5  # nominal carrier-sense range ~400 m
     noise_floor_dbm: float = -170.0
+    #: How many standard deviations the shadowing model's fade draws are
+    #: clipped at — the margin that decides how aggressively the channel's
+    #: receiver cull can prune dense meshes (6σ ≈ a 2e-9 clip probability;
+    #: 4σ ≈ 3e-5 trades a statistically tiny model deviation for a much
+    #: tighter cull radius).  Sweepable through the config/spec layer.
+    max_deviation_sigmas: float = 6.0
 
     def data_airtime_ns(self, payload_bits: int) -> int:
         """Airtime of a frame body of ``payload_bits`` at the data rate, plus PLCP."""
@@ -49,6 +56,7 @@ class PhyParams:
 
     @classmethod
     def from_dict(cls, data: dict) -> "PhyParams":
+        require_known_keys(data, (f.name for f in fields(cls)), cls.__name__)
         return cls(**data)
 
 

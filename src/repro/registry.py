@@ -1,0 +1,141 @@
+"""Named component registries: the extension seam of the scenario API.
+
+Every pluggable layer of the simulator — MAC schemes, routing strategies,
+traffic kinds, topologies, mobility models — owns one :class:`Registry`
+and populates it with a ``@register("name")`` decorator at import time.
+The declarative spec layer (:mod:`repro.spec`) then refers to components
+purely by name, which is what makes a scenario a JSON document instead of
+a code change: ``{"mac": {"name": "ripple"}, "routing": {"name":
+"static"}}`` resolves through the registries at build time.
+
+Adding a component is therefore one decorated function::
+
+    from repro.topology.registry import register_topology
+
+    @register_topology("campus")
+    def campus(n_buildings: int = 4) -> TopologySpec:
+        ...
+
+after which ``--set topology=campus topology.n_buildings=6`` works from
+the CLI with no other code touched.
+
+Registries are *closed* against accidents: registering a name twice
+raises (a silent overwrite would make behaviour depend on import order),
+and looking up an unknown name raises an error that lists what *is*
+registered.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+class RegistryError(ValueError):
+    """Raised on duplicate registration or lookup of an unknown name."""
+
+
+class Registry:
+    """A named, write-once mapping of component names to entries.
+
+    Implements the read side of the ``Mapping`` protocol (``in``,
+    ``len``, iteration, ``get``, ``items`` ...), so existing code that
+    treated the old hard-coded dicts as plain mappings keeps working when
+    handed a registry instead.
+    """
+
+    def __init__(self, kind: str) -> None:
+        #: Human-readable component kind, used in error messages
+        #: (e.g. ``"MAC scheme"``, ``"topology"``).
+        self.kind = kind
+        self._entries: Dict[str, object] = {}
+        self._aliases: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Write side
+    # ------------------------------------------------------------------
+    def add(self, name: str, entry: T) -> T:
+        """Register ``entry`` under ``name``; duplicate names raise."""
+        if not name or not isinstance(name, str):
+            raise RegistryError(f"{self.kind} name must be a non-empty string, got {name!r}")
+        if name in self._entries or name in self._aliases:
+            raise RegistryError(
+                f"duplicate {self.kind} registration {name!r}: "
+                f"already provided by {self._entries.get(name, self._aliases.get(name))!r}"
+            )
+        self._entries[name] = entry
+        return entry
+
+    def register(self, name: str) -> Callable[[T], T]:
+        """Decorator form of :meth:`add`; returns the decorated object unchanged."""
+
+        def decorate(entry: T) -> T:
+            self.add(name, entry)
+            return entry
+
+        return decorate
+
+    def alias(self, alias: str, target: str) -> None:
+        """Make ``alias`` resolve to the already-registered ``target``."""
+        if target not in self._entries:
+            raise RegistryError(
+                f"cannot alias {alias!r}: unknown {self.kind} {target!r}; "
+                f"known: {sorted(self._entries)}"
+            )
+        if alias in self._entries or alias in self._aliases:
+            raise RegistryError(f"duplicate {self.kind} registration {alias!r}")
+        self._aliases[alias] = target
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+    def canonical_name(self, name: str) -> str:
+        """Resolve an alias to its canonical name (identity for canonical names)."""
+        return self._aliases.get(name, name)
+
+    def lookup(self, name: str):
+        """The entry registered under ``name`` (or an alias); raises if unknown."""
+        canonical = self.canonical_name(name)
+        try:
+            return self._entries[canonical]
+        except KeyError:
+            raise RegistryError(
+                f"unknown {self.kind} {name!r}; known: {self.known_names()}"
+            ) from None
+
+    def get(self, name: str, default=None):
+        """Mapping-style lookup returning ``default`` for unknown names."""
+        return self._entries.get(self._aliases.get(name, name), default)
+
+    def known_names(self) -> List[str]:
+        """Canonical names plus aliases, sorted (for error messages/help)."""
+        return sorted([*self._entries, *self._aliases])
+
+    def names(self) -> Tuple[str, ...]:
+        """Canonical names in registration order."""
+        return tuple(self._entries)
+
+    def items(self):
+        return self._entries.items()
+
+    def values(self):
+        return self._entries.values()
+
+    def keys(self):
+        return self._entries.keys()
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries or name in self._aliases
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __getitem__(self, name: str):
+        return self.lookup(name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Registry({self.kind!r}, {sorted(self._entries)})"

@@ -6,10 +6,13 @@ from repro.routing.dynamic import AdaptiveEtxRouting
 from repro.routing.etx import EtxParams, build_connectivity_graph, link_etx, path_etx
 from repro.routing.mcexor import McExorMac
 from repro.routing.preexor import PreExorMac
+from repro.routing.registry import ROUTING_STRATEGIES, register_routing
 from repro.routing.shortest_path import ShortestPathRouting
 from repro.routing.static import StaticRouting
 
 __all__ = [
+    "ROUTING_STRATEGIES",
+    "register_routing",
     "AdaptiveEtxRouting",
     "NetworkAgent",
     "RouteNotFound",

@@ -1,0 +1,80 @@
+"""The routing strategy registry: how a scenario turns routes into a protocol.
+
+Each entry is a builder ``build(network, config, **params) ->
+RoutingProtocol`` invoked by :func:`repro.experiments.runner.build_network`
+after the nodes exist but before the MAC stack is installed.  ``params``
+come from the scenario's :class:`~repro.spec.RoutingSpec`, so a strategy's
+knobs are sweepable/JSON-addressable by construction.
+
+Built-in strategies:
+
+``static``
+    The paper's predetermined route tables: looks up
+    ``params["route_set"]`` (default: the config's ``route_set`` field) in
+    the topology's named route sets.  This is what every ``scheme_label``
+    alias expands to.
+``shortest_path``
+    Hop-count or ETX shortest paths computed over the live connectivity
+    graph (``metric`` param, default ``"hops"``).
+``adaptive_etx`` (alias ``etx``)
+    Minimum-ETX routes re-estimated mid-run, with the predetermined table
+    as fallback — the strategy mobile scenarios install.
+"""
+
+from __future__ import annotations
+
+from repro.registry import Registry
+
+#: The registry of routing strategy builders.
+ROUTING_STRATEGIES = Registry("routing strategy")
+
+
+def register_routing(name: str):
+    """Decorator registering ``build(network, config, **params)`` under ``name``."""
+    return ROUTING_STRATEGIES.register(name)
+
+
+@register_routing("static")
+def _build_static(network, config, *, route_set: str = None):
+    """Predetermined routes from one of the topology's named route sets."""
+    from repro.routing.static import StaticRouting
+
+    chosen = route_set if route_set is not None else config.route_set
+    topology = config.topology
+    if chosen not in topology.route_sets:
+        raise KeyError(f"topology {topology.name} has no route set {chosen!r}")
+    return StaticRouting(topology.routes(chosen), max_forwarders=config.max_forwarders)
+
+
+@register_routing("shortest_path")
+def _build_shortest_path(network, config, *, metric: str = "hops"):
+    """Shortest paths over the current connectivity graph (no fallback)."""
+    from repro.routing.shortest_path import ShortestPathRouting
+
+    return ShortestPathRouting(
+        network.connectivity_graph(), metric=metric, max_forwarders=config.max_forwarders
+    )
+
+
+@register_routing("adaptive_etx")
+def _build_adaptive_etx(network, config, *, route_set: str = None, fallback: bool = True):
+    """Live-re-estimated minimum-ETX routes with a predetermined-table fallback.
+
+    With ``fallback=True`` (default) the config's route set backs the ETX
+    routes whenever the estimated graph has no path — the exact stack
+    mobile scenarios have always installed.  A missing route set raises
+    (a silently absent fallback would surface as inexplicable
+    zero-throughput runs); pass ``fallback=False`` for topologies that
+    genuinely have no predetermined tables.
+    """
+    from repro.routing.dynamic import AdaptiveEtxRouting
+
+    backing = _build_static(network, config, route_set=route_set) if fallback else None
+    return AdaptiveEtxRouting(
+        network.connectivity_graph(),
+        fallback=backing,
+        max_forwarders=config.max_forwarders,
+    )
+
+
+ROUTING_STRATEGIES.alias("etx", "adaptive_etx")

@@ -1,0 +1,48 @@
+"""Shared helpers for the ``to_dict``/``from_dict`` serialization layer.
+
+Every serializable object in the repository (specs, configs, results)
+round-trips through plain JSON-safe dicts — the sweep cache hashes them,
+worker processes exchange them, and the CLI accepts them as scenario
+documents.  ``from_dict`` implementations are *strict*: a key the
+accepting class does not know is an error that names the key and the
+class, instead of a bare ``KeyError``/``TypeError`` deep inside a
+constructor.  Strictness is what turns a stale cache entry or a typo'd
+spec file (``"biterror_rate"``) into an actionable message.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+
+class SpecError(ValueError):
+    """Raised when a serialized spec/config dict is malformed."""
+
+
+def require_known_keys(data: Dict[str, object], known: Iterable[str], owner: str) -> None:
+    """Reject dict keys the accepting class does not define.
+
+    ``owner`` is the class name shown in the error, so the message reads
+    "unknown field 'foo' for PhyParams" and points straight at both the
+    offending key and where it was headed.
+    """
+    if not isinstance(data, dict):
+        raise SpecError(f"{owner} expects a dict, got {type(data).__name__}")
+    known_set = set(known)
+    unknown = [key for key in data if key not in known_set]
+    if unknown:
+        fields = ", ".join(repr(key) for key in sorted(unknown))
+        raise SpecError(
+            f"unknown field{'s' if len(unknown) > 1 else ''} {fields} for {owner}; "
+            f"accepted: {sorted(known_set)}"
+        )
+
+
+def require_keys(data: Dict[str, object], required: Iterable[str], owner: str) -> None:
+    """Reject dicts missing a required key, naming the key and the class."""
+    missing = [key for key in required if key not in data]
+    if missing:
+        fields = ", ".join(repr(key) for key in missing)
+        raise SpecError(
+            f"missing required field{'s' if len(missing) > 1 else ''} {fields} for {owner}"
+        )

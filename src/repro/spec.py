@@ -1,0 +1,370 @@
+"""Declarative scenario specs: name-addressed components, JSON all the way.
+
+This module is the public face of the composable scenario API.  Each
+pluggable layer has a small serializable spec that names a registered
+component plus its parameters:
+
+* :class:`MacSpec` — a MAC/forwarding scheme from
+  :data:`repro.mac.registry.MAC_SCHEMES` (``dcf``, ``afr``, ``ripple``,
+  ``ripple1``, ``preexor``, ``mcexor``);
+* :class:`RoutingSpec` — a routing strategy from
+  :data:`repro.routing.registry.ROUTING_STRATEGIES` (``static``,
+  ``shortest_path``, ``adaptive_etx``/``etx``);
+* :class:`TrafficSpec` — a traffic kind from
+  :data:`repro.traffic.registry.TRAFFIC_KINDS` (``tcp``, ``web``,
+  ``voip``, ``udp-saturating``) or the default ``"flows"``, meaning
+  "drive each flow according to its own :class:`FlowSpec.kind`";
+* :class:`TopologyRef` — a named topology builder from
+  :data:`repro.topology.registry.TOPOLOGIES` with builder parameters
+  (``line``/``n_hops=6``, ``roofnet``/``include_hidden=true``, ...);
+* :class:`~repro.mobility.spec.MobilitySpec` — already spec-shaped —
+  rides alongside unchanged.
+
+:class:`ScenarioSpec` composes them into one JSON document that fully
+describes a simulation.  ``ScenarioSpec.from_dict(json.load(f)).to_config()``
+is exactly what ``python -m repro.experiments run --spec file.json``
+does, and any (topology × MAC × routing × traffic × mobility)
+combination of registered components is reachable that way with no new
+experiment module.
+
+The paper's ``scheme_label`` bars ("S"/"D"/"A"/"R1"/"R16") remain a thin
+alias layer: :func:`repro.experiments.runner.expand_scheme_label` turns a
+label into the equivalent ``(MacSpec, RoutingSpec)`` pair, and configs
+whose explicit specs match an alias expansion canonicalize back to the
+label, so the legacy and spec-addressed forms of the same scenario hash
+to the same sweep-cache digest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Union
+
+from repro.phy.params import HIGH_RATE_PHY, LOW_RATE_PHY, PhyParams
+from repro.mobility.spec import MobilitySpec
+from repro.serialization import SpecError, require_keys, require_known_keys
+from repro.topology.spec import TopologySpec
+
+#: Named PHY profiles addressable from specs (Table I's two rate points).
+PHY_PROFILES: Dict[str, PhyParams] = {
+    "high_rate": HIGH_RATE_PHY,
+    "low_rate": LOW_RATE_PHY,
+}
+
+
+def _canonical_params(params: Dict[str, object]) -> Dict[str, object]:
+    """Key-sorted copy of a params dict (so equal specs serialize identically)."""
+    return {key: params[key] for key in sorted(params)}
+
+
+@dataclass(frozen=True)
+class _ComponentSpec:
+    """A registered component addressed by name, plus its parameters.
+
+    Subclasses pin the registry the name must resolve in; validation
+    happens at construction so a typo'd name fails where it was written,
+    not deep inside ``build_network``.
+    """
+
+    name: str
+    params: Dict[str, object] = field(default_factory=dict)
+
+    #: Overridden per subclass.
+    KIND = "component"
+
+    def __post_init__(self) -> None:
+        registry = self._registry()
+        if self.name not in registry and not self._name_exempt(self.name):
+            raise SpecError(
+                f"unknown {registry.kind} {self.name!r} for {type(self).__name__}; "
+                f"known: {registry.known_names()}"
+            )
+        for key in self.params:
+            if not isinstance(key, str):
+                raise SpecError(
+                    f"{type(self).__name__} parameter names must be strings, got {key!r}"
+                )
+
+    @classmethod
+    def _registry(cls):
+        raise NotImplementedError
+
+    @classmethod
+    def _name_exempt(cls, name: str) -> bool:
+        """Names valid for this spec without a registry entry (none by default)."""
+        return False
+
+    @property
+    def canonical_name(self) -> str:
+        """The registry's canonical name (aliases like ``etx`` resolved)."""
+        return self._registry().canonical_name(self.name)
+
+    def canonical(self) -> "_ComponentSpec":
+        """This spec with its name canonicalized (used before hashing)."""
+        name = self.canonical_name
+        return self if name == self.name else replace(self, name=name)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical JSON-safe representation (hashed by the sweep cache)."""
+        return {"name": self.canonical_name, "params": _canonical_params(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "_ComponentSpec":
+        require_known_keys(data, ("name", "params"), cls.__name__)
+        require_keys(data, ("name",), cls.__name__)
+        params = data.get("params") or {}
+        if not isinstance(params, dict):
+            raise SpecError(f"{cls.__name__}.params must be a dict, got {type(params).__name__}")
+        return cls(name=str(data["name"]), params=dict(params))
+
+    def __eq__(self, other: object) -> bool:
+        """Specs compare by canonical name + params (aliases are transparent)."""
+        if not isinstance(other, type(self)) or not isinstance(self, type(other)):
+            return NotImplemented
+        return self.canonical_name == other.canonical_name and self.params == other.params
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.canonical_name, tuple(sorted(self.params.items(), key=lambda kv: kv[0]))))
+
+
+@dataclass(frozen=True, eq=False)
+class MacSpec(_ComponentSpec):
+    """One MAC/forwarding scheme by registered name (+ per-node MAC kwargs)."""
+
+    KIND = "mac"
+
+    @classmethod
+    def _registry(cls):
+        from repro.mac.registry import MAC_SCHEMES
+
+        return MAC_SCHEMES
+
+
+@dataclass(frozen=True, eq=False)
+class RoutingSpec(_ComponentSpec):
+    """One routing strategy by registered name (+ builder params)."""
+
+    KIND = "routing"
+
+    @classmethod
+    def _registry(cls):
+        from repro.routing.registry import ROUTING_STRATEGIES
+
+        return ROUTING_STRATEGIES
+
+
+@dataclass(frozen=True, eq=False)
+class TrafficSpec(_ComponentSpec):
+    """One traffic kind by registered name, or ``"flows"`` (per-flow kinds)."""
+
+    KIND = "traffic"
+
+    @classmethod
+    def _registry(cls):
+        from repro.traffic.registry import TRAFFIC_KINDS
+
+        return TRAFFIC_KINDS
+
+    @classmethod
+    def _name_exempt(cls, name: str) -> bool:
+        from repro.traffic.registry import PER_FLOW_KINDS
+
+        return name == PER_FLOW_KINDS
+
+    @property
+    def per_flow(self) -> bool:
+        """Whether each flow keeps its own :class:`FlowSpec.kind`."""
+        from repro.traffic.registry import PER_FLOW_KINDS
+
+        return self.name == PER_FLOW_KINDS
+
+
+@dataclass(frozen=True, eq=False)
+class TopologyRef(_ComponentSpec):
+    """A named topology builder plus its parameters.
+
+    Unlike an inline :class:`TopologySpec` (positions, flows and routes
+    spelled out), a ref stays tiny in serialized form and is rebuilt —
+    deterministically — from the registry at resolution time.
+    """
+
+    KIND = "topology"
+
+    @classmethod
+    def _registry(cls):
+        from repro.topology.registry import TOPOLOGIES
+
+        return TOPOLOGIES
+
+    def build(self) -> TopologySpec:
+        """Construct (and validate) the referenced topology."""
+        from repro.topology.registry import build_topology
+
+        return build_topology(self.name, **self.params)
+
+
+def _phy_to_dict(phy: Optional[Union[str, PhyParams]]) -> object:
+    if phy is None or isinstance(phy, str):
+        if isinstance(phy, str) and phy not in PHY_PROFILES:
+            raise SpecError(f"unknown PHY profile {phy!r}; known: {sorted(PHY_PROFILES)}")
+        return phy
+    return phy.to_dict()
+
+
+def _phy_from_dict(data: object) -> Optional[Union[str, PhyParams]]:
+    if data is None:
+        return None
+    if isinstance(data, str):
+        if data not in PHY_PROFILES:
+            raise SpecError(f"unknown PHY profile {data!r}; known: {sorted(PHY_PROFILES)}")
+        return data
+    return PhyParams.from_dict(data)
+
+
+def resolve_phy(phy: Optional[Union[str, PhyParams]]) -> Optional[PhyParams]:
+    """Turn a spec-level PHY reference (profile name or params) into params."""
+    if phy is None or isinstance(phy, PhyParams):
+        return phy
+    try:
+        return PHY_PROFILES[phy]
+    except KeyError:
+        raise SpecError(f"unknown PHY profile {phy!r}; known: {sorted(PHY_PROFILES)}") from None
+
+
+@dataclass
+class ScenarioSpec:
+    """A fully declarative scenario: every layer addressed by name.
+
+    ``to_config()`` resolves the references (topology builder, PHY
+    profile) into a concrete
+    :class:`~repro.experiments.runner.ScenarioConfig`; everything else is
+    carried through.  ``scheme_label`` is optional sugar — when given, it
+    supplies defaults for ``mac``/``routing`` through the alias layer,
+    exactly as on :class:`ScenarioConfig` itself.
+    """
+
+    topology: Union[TopologyRef, TopologySpec]
+    scheme_label: Optional[str] = None
+    mac: Optional[MacSpec] = None
+    routing: Optional[RoutingSpec] = None
+    traffic: Optional[TrafficSpec] = None
+    mobility: Optional[MobilitySpec] = None
+    route_set: str = "ROUTE0"
+    active_flows: Optional[List[int]] = None
+    bit_error_rate: float = 1e-6
+    duration_s: float = 1.0
+    warmup_s: float = 0.0
+    seed: int = 1
+    phy: Optional[Union[str, PhyParams]] = None
+    tcp_window: int = 64
+    max_forwarders: int = 5
+    max_aggregation: Optional[int] = None
+
+    def resolve_topology(self) -> TopologySpec:
+        if isinstance(self.topology, TopologyRef):
+            return self.topology.build()
+        return self.topology
+
+    def to_config(self):
+        """Resolve every reference into a runnable ``ScenarioConfig``."""
+        from repro.experiments.runner import ScenarioConfig
+
+        kwargs = {}
+        if self.scheme_label is not None:
+            kwargs["scheme_label"] = self.scheme_label
+        return ScenarioConfig(
+            topology=self.resolve_topology(),
+            mac=self.mac,
+            routing=self.routing,
+            traffic=self.traffic,
+            mobility=self.mobility,
+            route_set=self.route_set,
+            active_flows=None if self.active_flows is None else list(self.active_flows),
+            bit_error_rate=self.bit_error_rate,
+            duration_s=self.duration_s,
+            warmup_s=self.warmup_s,
+            seed=self.seed,
+            phy=resolve_phy(self.phy),
+            tcp_window=self.tcp_window,
+            max_forwarders=self.max_forwarders,
+            max_aggregation=self.max_aggregation,
+            **kwargs,
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe representation; ``from_dict`` is its exact inverse."""
+        if isinstance(self.topology, TopologyRef):
+            topology = {"ref": self.topology.to_dict()}
+        else:
+            topology = self.topology.to_dict()
+        return {
+            "topology": topology,
+            "scheme_label": self.scheme_label,
+            "mac": None if self.mac is None else self.mac.to_dict(),
+            "routing": None if self.routing is None else self.routing.to_dict(),
+            "traffic": None if self.traffic is None else self.traffic.to_dict(),
+            "mobility": None if self.mobility is None else self.mobility.to_dict(),
+            "route_set": self.route_set,
+            "active_flows": None if self.active_flows is None else list(self.active_flows),
+            "bit_error_rate": self.bit_error_rate,
+            "duration_s": self.duration_s,
+            "warmup_s": self.warmup_s,
+            "seed": self.seed,
+            "phy": _phy_to_dict(self.phy),
+            "tcp_window": self.tcp_window,
+            "max_forwarders": self.max_forwarders,
+            "max_aggregation": self.max_aggregation,
+        }
+
+    _FIELDS = (
+        "topology", "scheme_label", "mac", "routing", "traffic", "mobility",
+        "route_set", "active_flows", "bit_error_rate", "duration_s",
+        "warmup_s", "seed", "phy", "tcp_window", "max_forwarders",
+        "max_aggregation",
+    )
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ScenarioSpec":
+        require_known_keys(data, cls._FIELDS, cls.__name__)
+        require_keys(data, ("topology",), cls.__name__)
+        topology_data = data["topology"]
+        if isinstance(topology_data, dict) and set(topology_data) == {"ref"}:
+            topology: Union[TopologyRef, TopologySpec] = TopologyRef.from_dict(
+                topology_data["ref"]
+            )
+        elif isinstance(topology_data, dict) and "name" in topology_data and "positions" not in topology_data:
+            # Accept a bare ref dict ({"name": ..., "params": ...}) too.
+            topology = TopologyRef.from_dict(topology_data)
+        else:
+            topology = TopologySpec.from_dict(topology_data)
+        scheme_label = data.get("scheme_label")
+        mac = data.get("mac")
+        routing = data.get("routing")
+        traffic = data.get("traffic")
+        mobility = data.get("mobility")
+        active = data.get("active_flows")
+        max_aggregation = data.get("max_aggregation")
+        return cls(
+            topology=topology,
+            scheme_label=None if scheme_label is None else str(scheme_label),
+            mac=None if mac is None else MacSpec.from_dict(mac),
+            routing=None if routing is None else RoutingSpec.from_dict(routing),
+            traffic=None if traffic is None else TrafficSpec.from_dict(traffic),
+            mobility=None if mobility is None else MobilitySpec.from_dict(mobility),
+            route_set=str(data.get("route_set", "ROUTE0")),
+            active_flows=None if active is None else [int(f) for f in active],
+            bit_error_rate=float(data.get("bit_error_rate", 1e-6)),
+            duration_s=float(data.get("duration_s", 1.0)),
+            warmup_s=float(data.get("warmup_s", 0.0)),
+            seed=int(data.get("seed", 1)),
+            phy=_phy_from_dict(data.get("phy")),
+            tcp_window=int(data.get("tcp_window", 64)),
+            max_forwarders=int(data.get("max_forwarders", 5)),
+            max_aggregation=None if max_aggregation is None else int(max_aggregation),
+        )

@@ -14,19 +14,21 @@ of the library) builds a scenario with:
     # ... attach traffic sources, then:
     net.run(seconds(10))
 
-The scheme registry below maps the labels the paper uses to MAC factories:
-``"dcf"`` (the D bars), ``"afr"`` (A), ``"ripple1"`` (R1, mTXOP without
-aggregation), ``"ripple"`` (R16), plus ``"preexor"`` and ``"mcexor"`` for
-the Section II comparison.
+Schemes are looked up by name in :data:`repro.mac.registry.MAC_SCHEMES`
+(``"dcf"`` — the D bars, ``"afr"`` — A, ``"ripple1"`` — R1 / mTXOP
+without aggregation, ``"ripple"`` — R16, plus ``"preexor"`` and
+``"mcexor"`` for the Section II comparison); register a new scheme with
+:func:`repro.mac.registry.register_mac_scheme` and it becomes installable
+here — and addressable from the declarative scenario layer — by name.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import networkx as nx
 
+from repro.mac.registry import MAC_SCHEMES, SchemeInfo
 from repro.mac.timing import DEFAULT_TIMING, MacTiming
 from repro.phy.channel import WirelessChannel
 from repro.phy.error_models import BitErrorModel
@@ -41,100 +43,9 @@ from repro.sim.rng import RandomStreams
 from repro.sim.units import seconds
 from repro.topology.node import Node
 
-
-def _make_dcf(network: "WirelessNetwork", node: Node, **kwargs):
-    from repro.mac.dcf import DcfMac
-
-    return DcfMac(
-        network.sim,
-        node.node_id,
-        node.radio,
-        network.phy,
-        network.timing,
-        network.rng,
-        max_aggregation=kwargs.get("max_aggregation", 1),
-    )
-
-
-def _make_afr(network: "WirelessNetwork", node: Node, **kwargs):
-    from repro.mac.afr import AfrMac
-
-    return AfrMac(
-        network.sim,
-        node.node_id,
-        node.radio,
-        network.phy,
-        network.timing,
-        network.rng,
-        max_aggregation=kwargs.get("max_aggregation", 16),
-    )
-
-
-def _make_ripple(network: "WirelessNetwork", node: Node, **kwargs):
-    from repro.core.ripple import RippleMac
-
-    return RippleMac(
-        network.sim,
-        node.node_id,
-        node.radio,
-        network.phy,
-        network.timing,
-        network.rng,
-        max_aggregation=kwargs.get("max_aggregation", 16),
-        aggregate_local_traffic=kwargs.get("aggregate_local_traffic", True),
-    )
-
-
-def _make_ripple1(network: "WirelessNetwork", node: Node, **kwargs):
-    kwargs = dict(kwargs)
-    kwargs["max_aggregation"] = 1
-    return _make_ripple(network, node, **kwargs)
-
-
-def _make_preexor(network: "WirelessNetwork", node: Node, **kwargs):
-    from repro.routing.preexor import PreExorMac
-
-    return PreExorMac(
-        network.sim,
-        node.node_id,
-        node.radio,
-        network.phy,
-        network.timing,
-        network.rng,
-    )
-
-
-def _make_mcexor(network: "WirelessNetwork", node: Node, **kwargs):
-    from repro.routing.mcexor import McExorMac
-
-    return McExorMac(
-        network.sim,
-        node.node_id,
-        node.radio,
-        network.phy,
-        network.timing,
-        network.rng,
-    )
-
-
-@dataclass(frozen=True)
-class SchemeInfo:
-    """Registry entry describing one forwarding scheme."""
-
-    name: str
-    label: str
-    factory: Callable
-    opportunistic: bool
-
-
-SCHEMES: Dict[str, SchemeInfo] = {
-    "dcf": SchemeInfo("dcf", "D (802.11 DCF)", _make_dcf, opportunistic=False),
-    "afr": SchemeInfo("afr", "A (AFR aggregation)", _make_afr, opportunistic=False),
-    "ripple": SchemeInfo("ripple", "R16 (RIPPLE)", _make_ripple, opportunistic=True),
-    "ripple1": SchemeInfo("ripple1", "R1 (RIPPLE, no aggregation)", _make_ripple1, opportunistic=True),
-    "preexor": SchemeInfo("preexor", "preExOR", _make_preexor, opportunistic=True),
-    "mcexor": SchemeInfo("mcexor", "MCExOR", _make_mcexor, opportunistic=True),
-}
+#: Backward-compatible alias for the scheme registry (a read-only mapping
+#: view of :data:`repro.mac.registry.MAC_SCHEMES`).
+SCHEMES = MAC_SCHEMES
 
 
 class WirelessNetwork:
@@ -152,7 +63,11 @@ class WirelessNetwork:
         self.rng = RandomStreams(seed=seed)
         self.phy = phy or PhyParams()
         self.timing = timing or DEFAULT_TIMING
-        self.propagation = propagation or ShadowingPropagation()
+        # The default propagation model inherits the PHY's cull margin, so
+        # max_deviation_sigmas is sweepable from the config/spec layer.
+        self.propagation = propagation or ShadowingPropagation(
+            max_deviation_sigmas=self.phy.max_deviation_sigmas
+        )
         self.error_model = error_model or BitErrorModel()
         self.channel = WirelessChannel(
             self.sim,
@@ -188,6 +103,7 @@ class WirelessNetwork:
         info = SCHEMES.get(scheme)
         if info is None:
             raise ValueError(f"unknown scheme {scheme!r}; known: {sorted(SCHEMES)}")
+        info.validate_kwargs(mac_kwargs)
         self.scheme = info
         self.routing = routing
         for node in self.nodes.values():

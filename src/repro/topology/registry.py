@@ -1,0 +1,97 @@
+"""The topology registry: every named placement a scenario can reference.
+
+Each entry is a builder ``build(**params) -> TopologySpec``; the params
+are the builder's keyword arguments, so a
+:class:`~repro.spec.TopologyRef` like ``{"name": "line", "params":
+{"n_hops": 6, "cross_traffic": true}}`` — or ``--set topology=line
+topology.n_hops=6`` on the CLI — addresses any point of a topology
+family without code.  Built specs are validated before being handed out.
+
+Registered builders cover the paper's layouts (``fig1``, ``fig5a``,
+``fig5b``, ``line``, ``wigle``, ``roofnet``) plus the re-flavoured Fig. 1
+variants carrying VoIP (``fig1-voip``, alias ``voip``) and web flows
+(``fig1-web``, alias ``web``).
+"""
+
+from __future__ import annotations
+
+from repro.registry import Registry
+from repro.topology.spec import TopologySpec
+
+#: The registry of topology builders.
+TOPOLOGIES = Registry("topology")
+
+
+def register_topology(name: str):
+    """Decorator registering a ``build(**params) -> TopologySpec`` factory."""
+    return TOPOLOGIES.register(name)
+
+
+@register_topology("fig1")
+def _fig1() -> TopologySpec:
+    from repro.topology.standard import fig1_topology
+
+    return fig1_topology()
+
+
+@register_topology("fig1-voip")
+def _fig1_voip(flows_per_pair: int = 10) -> TopologySpec:
+    from repro.topology.standard import voip_topology
+
+    return voip_topology(flows_per_pair=int(flows_per_pair))
+
+
+@register_topology("fig1-web")
+def _fig1_web(flows_per_pair: int = 10) -> TopologySpec:
+    from repro.topology.standard import web_topology
+
+    return web_topology(flows_per_pair=int(flows_per_pair))
+
+
+@register_topology("fig5a")
+def _fig5a(n_flows: int = 9) -> TopologySpec:
+    from repro.topology.standard import fig5a_topology
+
+    return fig5a_topology(n_flows=int(n_flows))
+
+
+@register_topology("fig5b")
+def _fig5b(n_hidden: int = 9) -> TopologySpec:
+    from repro.topology.standard import fig5b_topology
+
+    return fig5b_topology(n_hidden=int(n_hidden))
+
+
+@register_topology("line")
+def _line(n_hops: int = 5, cross_traffic: bool = False) -> TopologySpec:
+    from repro.topology.standard import line_topology
+
+    return line_topology(int(n_hops), cross_traffic=bool(cross_traffic))
+
+
+@register_topology("wigle")
+def _wigle(include_hidden: bool = True) -> TopologySpec:
+    from repro.topology.wigle import wigle_topology
+
+    return wigle_topology(include_hidden=bool(include_hidden))
+
+
+@register_topology("roofnet")
+def _roofnet(include_hidden: bool = False, seed: int = 7) -> TopologySpec:
+    from repro.topology.roofnet import roofnet_scenario
+
+    return roofnet_scenario(include_hidden=bool(include_hidden), seed=int(seed))
+
+
+TOPOLOGIES.alias("voip", "fig1-voip")
+TOPOLOGIES.alias("web", "fig1-web")
+
+
+def build_topology(name: str, **params) -> TopologySpec:
+    """Build and validate the named topology with ``params`` applied."""
+    builder = TOPOLOGIES.lookup(name)
+    try:
+        spec = builder(**params)
+    except TypeError as exc:
+        raise ValueError(f"bad parameters for topology {name!r}: {exc}") from exc
+    return spec.validate()

@@ -14,6 +14,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.serialization import require_known_keys
+
 
 class TopologyError(ValueError):
     """Raised when a topology specification is structurally invalid."""
@@ -41,6 +43,7 @@ class FlowSpec:
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "FlowSpec":
+        require_known_keys(data, ("flow_id", "src", "dst", "kind", "label"), cls.__name__)
         return cls(
             flow_id=int(data["flow_id"]),
             src=int(data["src"]),
@@ -154,6 +157,9 @@ class TopologySpec:
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "TopologySpec":
+        require_known_keys(
+            data, ("name", "positions", "flows", "route_sets", "description"), cls.__name__
+        )
         positions = {
             int(node_id): (float(xy[0]), float(xy[1]))
             for node_id, xy in data["positions"].items()

@@ -188,3 +188,32 @@ def line_topology(n_hops: int, cross_traffic: bool = False, hop_m: float = GOOD_
         route_sets={"ROUTE0": routes},
         description="Line topology of Fig. 7.",
     )
+
+
+def _fig1_multiflow(kind: str, flows_per_pair: int, label_prefix: str) -> TopologySpec:
+    """The Fig. 1 placement re-flavoured with ``flows_per_pair`` flows per pair."""
+    base = fig1_topology()
+    pairs = [(0, 3), (0, 4), (5, 7)]
+    flows: List[FlowSpec] = []
+    flow_id = 1
+    for src, dst in pairs:
+        for _ in range(flows_per_pair):
+            flows.append(
+                FlowSpec(
+                    flow_id=flow_id, src=src, dst=dst, kind=kind,
+                    label=f"{label_prefix} {src}->{dst}",
+                )
+            )
+            flow_id += 1
+    base.flows = flows
+    return base
+
+
+def voip_topology(flows_per_pair: int = 10) -> TopologySpec:
+    """The Fig. 1 topology carrying VoIP streams instead of TCP flows (Table III)."""
+    return _fig1_multiflow("voip", flows_per_pair, "voip")
+
+
+def web_topology(flows_per_pair: int = 10) -> TopologySpec:
+    """The Fig. 1 topology carrying ON/OFF web flows (Fig. 8)."""
+    return _fig1_multiflow("web", flows_per_pair, "web")

@@ -2,10 +2,14 @@
 
 from repro.traffic.cbr import CbrSource, SaturatingSource
 from repro.traffic.ftp import FtpApplication
+from repro.traffic.registry import TRAFFIC_KINDS, FlowDriver, register_traffic
 from repro.traffic.voip import VoipFlow
 from repro.traffic.web import WebFlow, pareto_transfer_bytes
 
 __all__ = [
+    "TRAFFIC_KINDS",
+    "FlowDriver",
+    "register_traffic",
     "CbrSource",
     "SaturatingSource",
     "FtpApplication",

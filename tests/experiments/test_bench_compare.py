@@ -1,0 +1,125 @@
+"""``bench compare``: per-case events/s deltas and the regression gate."""
+
+import json
+
+import pytest
+
+from repro.experiments.bench import compare_reports, load_report
+
+
+def report(revision, cases, dispatch=()):
+    return {
+        "revision": revision,
+        "cases": [
+            {
+                "name": name,
+                "family": name.split("/")[0],
+                "scheme": name.split("/")[1],
+                "sim_duration_s": duration,
+                "events": 1000,
+                "wall_s": 1.0,
+                "events_per_sec": eps,
+                "throughput_mbps": 1.0,
+            }
+            for name, eps, duration in cases
+        ],
+        "dispatch": [
+            {"topology": topology, "transmissions_per_sec": tps}
+            for topology, tps in dispatch
+        ],
+    }
+
+
+class TestCompareReports:
+    def test_no_regression_within_threshold(self):
+        base = report("aaa", [("line/D", 100_000, 2.0)])
+        cur = report("bbb", [("line/D", 96_000, 2.0)])
+        text, regressions = compare_reports(base, cur, threshold_pct=5.0)
+        assert regressions == []
+        assert "no regressions" in text
+        assert "-4.0%" in text
+
+    def test_regression_beyond_threshold_detected(self):
+        base = report("aaa", [("line/D", 100_000, 2.0), ("roofnet/R16", 200_000, 2.0)])
+        cur = report("bbb", [("line/D", 100_500, 2.0), ("roofnet/R16", 150_000, 2.0)])
+        text, regressions = compare_reports(base, cur, threshold_pct=10.0)
+        assert regressions == ["roofnet/R16"]
+        assert "REGRESSION" in text
+
+    def test_dispatch_micros_compared(self):
+        base = report("aaa", [], dispatch=[("roofnet", 10_000)])
+        cur = report("bbb", [], dispatch=[("roofnet", 5_000)])
+        _text, regressions = compare_reports(base, cur, threshold_pct=5.0)
+        assert regressions == ["dispatch/roofnet"]
+
+    def test_mismatched_durations_flagged_not_gated(self):
+        base = report("aaa", [("line/D", 100_000, 2.0)])
+        cur = report("bbb", [("line/D", 10_000, 0.05)])
+        text, regressions = compare_reports(base, cur, threshold_pct=5.0)
+        assert regressions == []
+        assert "durations differ" in text
+
+    def test_one_sided_cases_shown_not_gated(self):
+        base = report("aaa", [("line/D", 100_000, 2.0)])
+        cur = report("bbb", [("wigle/D", 90_000, 2.0)])
+        text, regressions = compare_reports(base, cur, threshold_pct=5.0)
+        assert regressions == []
+        assert "only in baseline" in text and "only in current" in text
+
+
+class TestCompareCli:
+    def _write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_exit_zero_without_regression(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        a = self._write(tmp_path, "a.json", report("aaa", [("line/D", 100_000, 2.0)]))
+        b = self._write(tmp_path, "b.json", report("bbb", [("line/D", 99_000, 2.0)]))
+        assert main(["bench", "compare", a, b]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_exit_four_on_regression(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        a = self._write(tmp_path, "a.json", report("aaa", [("line/D", 100_000, 2.0)]))
+        b = self._write(tmp_path, "b.json", report("bbb", [("line/D", 50_000, 2.0)]))
+        assert main(["bench", "compare", a, b, "--threshold", "10"]) == 4
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_threshold_is_configurable(self, tmp_path):
+        from repro.experiments.__main__ import main
+
+        a = self._write(tmp_path, "a.json", report("aaa", [("line/D", 100_000, 2.0)]))
+        b = self._write(tmp_path, "b.json", report("bbb", [("line/D", 80_000, 2.0)]))
+        assert main(["bench", "compare", a, b, "--threshold", "30"]) == 0
+        assert main(["bench", "compare", a, b, "--threshold", "10"]) == 4
+
+    def test_malformed_subcommand_rejected(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["bench", "compare", "only-one.json"]) == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_missing_report_file_is_a_clean_error(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        b = self._write(tmp_path, "b.json", report("bbb", [("line/D", 1.0, 2.0)]))
+        assert main(["bench", "compare", str(tmp_path / "nope.json"), b]) == 2
+        assert "cannot read report" in capsys.readouterr().err
+
+    def test_malformed_report_json_is_a_clean_error(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        good = self._write(tmp_path, "b.json", report("bbb", [("line/D", 1.0, 2.0)]))
+        assert main(["bench", "compare", str(bad), good]) == 2
+        assert "malformed report" in capsys.readouterr().err
+
+    def test_load_report_reads_written_json(self, tmp_path):
+        payload = report("aaa", [("line/D", 1.0, 2.0)])
+        path = self._write(tmp_path, "a.json", payload)
+        assert load_report(path) == payload

@@ -1,0 +1,290 @@
+"""The declarative spec layer: round-trips, strictness, alias canonicalization."""
+
+import json
+
+import pytest
+
+from repro.experiments.parallel import config_digest
+from repro.experiments.runner import (
+    PAPER_SCHEMES,
+    ScenarioConfig,
+    expand_scheme_label,
+    run_scenario,
+)
+from repro.mac.registry import MAC_SCHEMES
+from repro.mobility.models import MOBILITY_MODELS
+from repro.mobility.spec import MobilitySpec
+from repro.phy.params import HIGH_RATE_PHY, LOW_RATE_PHY, PhyParams
+from repro.routing.registry import ROUTING_STRATEGIES
+from repro.serialization import SpecError
+from repro.spec import (
+    PHY_PROFILES,
+    MacSpec,
+    RoutingSpec,
+    ScenarioSpec,
+    TopologyRef,
+    TrafficSpec,
+)
+from repro.topology.registry import TOPOLOGIES
+from repro.topology.standard import fig1_topology
+from repro.traffic.registry import TRAFFIC_KINDS
+
+
+def roundtrip(spec):
+    """to_dict → (json) → from_dict → to_dict must be the identity."""
+    first = spec.to_dict()
+    rebuilt = type(spec).from_dict(json.loads(json.dumps(first)))
+    assert rebuilt.to_dict() == first
+    return rebuilt
+
+
+class TestComponentSpecRoundTrips:
+    """Every registered component's spec round-trips losslessly."""
+
+    @pytest.mark.parametrize("name", sorted(MAC_SCHEMES))
+    def test_mac_specs(self, name):
+        rebuilt = roundtrip(MacSpec(name, {"max_aggregation": 4}))
+        assert rebuilt == MacSpec(name, {"max_aggregation": 4})
+
+    @pytest.mark.parametrize("name", sorted(ROUTING_STRATEGIES))
+    def test_routing_specs(self, name):
+        roundtrip(RoutingSpec(name))
+
+    @pytest.mark.parametrize("name", sorted(TRAFFIC_KINDS) + ["flows"])
+    def test_traffic_specs(self, name):
+        roundtrip(TrafficSpec(name))
+
+    @pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+    def test_topology_refs(self, name):
+        roundtrip(TopologyRef(name))
+
+    @pytest.mark.parametrize("model", sorted(MOBILITY_MODELS))
+    def test_mobility_specs(self, model):
+        roundtrip(MobilitySpec(model=model))
+
+    @pytest.mark.parametrize("profile", sorted(PHY_PROFILES))
+    def test_phy_profiles(self, profile):
+        params = PHY_PROFILES[profile]
+        assert PhyParams.from_dict(params.to_dict()) == params
+        assert "max_deviation_sigmas" in params.to_dict()
+
+    def test_scenario_spec_with_ref(self):
+        spec = ScenarioSpec(
+            topology=TopologyRef("line", {"n_hops": 4}),
+            mac=MacSpec("ripple"),
+            routing=RoutingSpec("etx"),
+            traffic=TrafficSpec("voip"),
+            mobility=MobilitySpec.random_waypoint(3.0),
+            phy="low_rate",
+            duration_s=0.25,
+            seed=9,
+        )
+        rebuilt = roundtrip(spec)
+        assert isinstance(rebuilt.topology, TopologyRef)
+        config = rebuilt.to_config()
+        assert config.phy == LOW_RATE_PHY
+        assert config.topology.name == "line4"
+
+    def test_scenario_spec_with_inline_topology(self):
+        spec = ScenarioSpec(topology=fig1_topology(), scheme_label="R16")
+        rebuilt = roundtrip(spec)
+        assert rebuilt.to_config().scheme_label == "R16"
+
+
+class TestStrictFromDict:
+    """Unknown keys are rejected with an error naming field and class."""
+
+    def test_component_spec_unknown_key(self):
+        with pytest.raises(SpecError, match="'colour' for MacSpec"):
+            MacSpec.from_dict({"name": "dcf", "colour": "red"})
+
+    def test_phy_params_unknown_key(self):
+        with pytest.raises(SpecError, match="'biterror_rate' for PhyParams"):
+            PhyParams.from_dict({"biterror_rate": 1e-6})
+
+    def test_mobility_spec_unknown_key(self):
+        with pytest.raises(SpecError, match="'speed' for MobilitySpec"):
+            MobilitySpec.from_dict({"model": "static", "speed": 3})
+
+    def test_topology_spec_unknown_key(self):
+        from repro.topology.spec import TopologySpec
+
+        data = fig1_topology().to_dict()
+        data["colour"] = "red"
+        with pytest.raises(SpecError, match="'colour' for TopologySpec"):
+            TopologySpec.from_dict(data)
+
+    def test_flow_spec_unknown_key(self):
+        from repro.topology.spec import FlowSpec
+
+        with pytest.raises(SpecError, match="'rate' for FlowSpec"):
+            FlowSpec.from_dict({"flow_id": 1, "src": 0, "dst": 1, "rate": 5})
+
+    def test_flow_result_unknown_key(self):
+        from repro.metrics.flows import FlowResult
+
+        with pytest.raises(SpecError, match="'goodput' for FlowResult"):
+            FlowResult.from_dict(
+                {"flow_id": 1, "kind": "tcp", "src": 0, "dst": 1,
+                 "throughput_mbps": 1.0, "goodput": 2.0}
+            )
+
+    def test_voip_quality_unknown_key(self):
+        from repro.metrics.mos import VoipQuality
+
+        with pytest.raises(SpecError, match="'jitter' for VoipQuality"):
+            VoipQuality.from_dict(
+                {"delay_ms": 1.0, "loss_rate": 0.0, "r_factor": 90.0, "mos": 4.3, "jitter": 1}
+            )
+
+    def test_scenario_config_unknown_key(self):
+        data = ScenarioConfig(topology=fig1_topology()).to_dict()
+        data["scheme"] = "D"
+        with pytest.raises(SpecError, match="'scheme' for ScenarioConfig"):
+            ScenarioConfig.from_dict(data)
+
+    def test_scenario_spec_unknown_key(self):
+        with pytest.raises(SpecError, match="'schemes' for ScenarioSpec"):
+            ScenarioSpec.from_dict({"topology": {"name": "fig1"}, "schemes": ["D"]})
+
+    def test_unknown_component_name_rejected_at_construction(self):
+        with pytest.raises(SpecError, match="unknown MAC scheme 'warp'"):
+            MacSpec("warp")
+        with pytest.raises(SpecError, match="unknown topology 'moon'"):
+            TopologyRef("moon")
+
+
+class TestAliasLayer:
+    """scheme_label is sugar over the spec layer; both forms are one scenario."""
+
+    @pytest.mark.parametrize("label", sorted(PAPER_SCHEMES))
+    def test_expansion_round_trips_through_canonical_label(self, label):
+        mac, routing = expand_scheme_label(label, "ROUTE0")
+        legacy = ScenarioConfig(topology=fig1_topology(), scheme_label=label)
+        explicit = ScenarioConfig(topology=fig1_topology(), mac=mac, routing=routing)
+        assert legacy.to_dict() == explicit.to_dict()
+        assert config_digest(legacy) == config_digest(explicit)
+
+    def test_legacy_dict_layout_unchanged(self):
+        """Label-only configs keep the flat pre-spec dict layout."""
+        data = ScenarioConfig(topology=fig1_topology(), scheme_label="A").to_dict()
+        assert data["scheme_label"] == "A"
+        assert "mac" not in data and "routing" not in data and "traffic" not in data
+
+    def test_non_alias_combination_serializes_specs(self):
+        config = ScenarioConfig(
+            topology=fig1_topology(),
+            mac=MacSpec("ripple"),
+            routing=RoutingSpec("shortest_path"),
+        )
+        data = config.to_dict()
+        assert data["scheme_label"] is None
+        assert data["mac"] == {"name": "ripple", "params": {}}
+        assert data["routing"] == {"name": "shortest_path", "params": {}}
+        rebuilt = ScenarioConfig.from_dict(json.loads(json.dumps(data)))
+        assert rebuilt.to_dict() == data
+
+    def test_alias_name_canonicalized_in_digest(self):
+        """RoutingSpec('etx') and RoutingSpec('adaptive_etx') are one digest."""
+        base = dict(topology=fig1_topology(), mac=MacSpec("dcf"))
+        a = ScenarioConfig(routing=RoutingSpec("etx"), **base)
+        b = ScenarioConfig(routing=RoutingSpec("adaptive_etx"), **base)
+        assert a.to_dict() == b.to_dict()
+        assert config_digest(a) == config_digest(b)
+
+    def test_s_label_expands_to_direct_route_set(self):
+        mac, routing = expand_scheme_label("S", "ROUTE0")
+        assert mac.name == "dcf"
+        assert routing.params == {"route_set": "DIRECT"}
+
+
+class TestSpecPathDeterminism:
+    """The registry-driven path is bit-identical to the legacy label path."""
+
+    def test_legacy_and_spec_configs_produce_identical_results(self):
+        legacy = ScenarioConfig(
+            topology=fig1_topology(), scheme_label="R16",
+            active_flows=[1], duration_s=0.1, seed=4,
+        )
+        mac, routing = expand_scheme_label("R16", legacy.route_set)
+        explicit = ScenarioConfig(
+            topology=fig1_topology(), mac=mac, routing=routing,
+            active_flows=[1], duration_s=0.1, seed=4,
+        )
+        first = run_scenario(legacy)
+        second = run_scenario(explicit)
+        assert first.to_dict() == second.to_dict()
+
+    def test_scenario_spec_to_config_runs_identically_to_legacy(self):
+        spec = ScenarioSpec(
+            topology=TopologyRef("fig1"), scheme_label="A",
+            active_flows=[1], duration_s=0.1, seed=2,
+        )
+        legacy = ScenarioConfig(
+            topology=fig1_topology(), scheme_label="A",
+            active_flows=[1], duration_s=0.1, seed=2,
+        )
+        assert run_scenario(spec.to_config()).to_dict() == run_scenario(legacy).to_dict()
+
+    def test_traffic_override_changes_the_scenario(self):
+        base = dict(topology=fig1_topology(), active_flows=[1], duration_s=0.05, seed=1)
+        tcp = run_scenario(ScenarioConfig(**base))
+        voip = run_scenario(ScenarioConfig(traffic=TrafficSpec("voip"), **base))
+        assert tcp.flows[0].kind == "tcp"
+        assert voip.flows[0].kind == "udp"
+        assert 1 in voip.voip_quality
+
+
+class TestComponentParamValidation:
+    """Unknown component parameters fail loudly, not by silent default."""
+
+    def test_typoed_mac_param_raises_at_install(self):
+        config = ScenarioConfig(
+            topology=fig1_topology(),
+            mac=MacSpec("ripple", {"max_agregation": 8}),  # typo'd on purpose
+            duration_s=0.02,
+        )
+        with pytest.raises(ValueError, match="max_agregation.*ripple"):
+            run_scenario(config)
+
+    def test_valid_mac_params_still_accepted(self):
+        config = ScenarioConfig(
+            topology=fig1_topology(),
+            mac=MacSpec("ripple", {"max_aggregation": 2, "aggregate_local_traffic": False}),
+            active_flows=[1],
+            duration_s=0.02,
+        )
+        assert run_scenario(config).events_processed > 0
+
+    def test_adaptive_etx_missing_fallback_route_set_raises(self):
+        config = ScenarioConfig(
+            topology=fig1_topology(),
+            mac=MacSpec("dcf"),
+            routing=RoutingSpec("etx", {"route_set": "ROUTE9"}),
+            duration_s=0.02,
+        )
+        with pytest.raises(KeyError, match="ROUTE9"):
+            run_scenario(config)
+
+    def test_adaptive_etx_fallback_opt_out(self):
+        from repro.experiments.runner import build_network
+        from repro.routing.dynamic import AdaptiveEtxRouting
+
+        config = ScenarioConfig(
+            topology=fig1_topology(),
+            mac=MacSpec("dcf"),
+            routing=RoutingSpec("etx", {"fallback": False}),
+        )
+        _network, routing = build_network(config)
+        assert isinstance(routing, AdaptiveEtxRouting)
+        assert routing.fallback is None
+
+
+class TestPhyProfileResolution:
+    def test_high_rate_profile_resolves(self):
+        spec = ScenarioSpec(topology=TopologyRef("fig1"), phy="high_rate")
+        assert spec.to_config().phy == HIGH_RATE_PHY
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(SpecError, match="unknown PHY profile"):
+            ScenarioSpec.from_dict({"topology": {"name": "fig1"}, "phy": "warp_speed"})
