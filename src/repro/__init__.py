@@ -27,7 +27,14 @@ from repro.mac import AfrMac, DcfMac, MacTiming, RouteDecision
 from repro.core import RippleMac
 from repro.mobility import MobilityManager, MobilitySpec
 from repro.packet import Packet
-from repro.phy import BitErrorModel, PhyParams, ShadowingPropagation
+from repro.phy import (
+    PROPAGATION_MODELS,
+    BitErrorModel,
+    PhyParams,
+    RayleighFading,
+    RicianFading,
+    ShadowingPropagation,
+)
 from repro.registry import Registry, RegistryError
 from repro.routing import (
     AdaptiveEtxRouting,
@@ -42,7 +49,7 @@ from repro.sim import RandomStreams, Simulator, seconds, us
 from repro.spec import MacSpec, RoutingSpec, ScenarioSpec, TopologyRef, TrafficSpec
 from repro.topology import SCHEMES, Node, WirelessNetwork
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "MacSpec",
@@ -63,7 +70,10 @@ __all__ = [
     "Packet",
     "BitErrorModel",
     "PhyParams",
+    "PROPAGATION_MODELS",
     "ShadowingPropagation",
+    "RayleighFading",
+    "RicianFading",
     "AdaptiveEtxRouting",
     "McExorMac",
     "PreExorMac",

@@ -227,6 +227,17 @@ def _render_mobility_voip(runner, duration_s, seed):
     )
 
 
+def _render_fading(runner, duration_s, seed):
+    from repro.experiments.fading import FADING_MODELS, run_fading
+
+    result = run_fading(seed=seed, runner=runner, **_duration_kwargs(duration_s))
+    return render_panel(
+        "Fading — flow-1 Mb/s per propagation model (4-hop line)",
+        result.throughput_mbps,
+        list(FADING_MODELS),
+    )
+
+
 def _render_forwarders(runner, duration_s, seed):
     from repro.experiments.ablation import run_forwarder_ablation
 
@@ -257,6 +268,7 @@ EXPERIMENTS: Dict[str, Experiment] = {
         Experiment("ablation-forwarders", "RIPPLE forwarder-cap sweep", _render_forwarders),
         Experiment("mobility-tcp", "TCP throughput vs node speed (random waypoint)", _render_mobility_tcp),
         Experiment("mobility-voip", "VoIP MoS vs node speed (random waypoint)", _render_mobility_voip),
+        Experiment("fading", "D/R16 line throughput per propagation model", _render_fading),
     ]
 }
 
@@ -486,7 +498,12 @@ def build_parser() -> argparse.ArgumentParser:
         description="Run the paper's figures/tables through the parallel sweep runner.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("list", help="list runnable experiments and registered components")
+    list_parser = sub.add_parser("list", help="list runnable experiments and registered components")
+    list_parser.add_argument(
+        "--markdown",
+        action="store_true",
+        help="print the full generated component reference (docs/COMPONENTS.md) instead",
+    )
     # Arguments shared by 'run' and 'report' — defined once so the two
     # commands cannot drift apart (identical flags and defaults are what
     # makes 'report' recompute the same cache digests 'run' stored under).
@@ -562,18 +579,29 @@ def build_parser() -> argparse.ArgumentParser:
 def _print_component_registries() -> None:
     from repro.mac.registry import MAC_SCHEMES
     from repro.mobility.models import MOBILITY_MODELS
+    from repro.phy.registry import PROPAGATION_MODELS
     from repro.routing.registry import ROUTING_STRATEGIES
     from repro.topology.registry import TOPOLOGIES
     from repro.traffic.registry import TRAFFIC_KINDS
 
-    print("\ncomponent registries (compose freely with run --set):")
-    for registry in (TOPOLOGIES, MAC_SCHEMES, ROUTING_STRATEGIES, TRAFFIC_KINDS, MOBILITY_MODELS):
+    print("\ncomponent registries (compose freely with run --set; "
+          "full reference: docs/COMPONENTS.md or 'list --markdown'):")
+    registries = (
+        TOPOLOGIES, MAC_SCHEMES, ROUTING_STRATEGIES, TRAFFIC_KINDS,
+        MOBILITY_MODELS, PROPAGATION_MODELS,
+    )
+    for registry in registries:
         print(f"  {registry.kind + ':':<18} {', '.join(registry.known_names())}")
 
 
 def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
+        if args.markdown:
+            from repro.docs import generate_components_markdown
+
+            print(generate_components_markdown(), end="")
+            return 0
         width = max(len(name) for name in EXPERIMENTS)
         for name, exp in EXPERIMENTS.items():
             print(f"{name:<{width}}  {exp.description}")

@@ -35,6 +35,7 @@ from itertools import product
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.experiments.runner import ScenarioConfig
+from repro.phy.params import PhyParams
 
 
 @dataclasses.dataclass(frozen=True)
@@ -91,6 +92,31 @@ def scenario_grid(
         configs.append(config)
         keys.append(tuple(key_parts) if len(key_parts) > 1 else key_parts[0])
     return configs, keys
+
+
+def propagation_axis(
+    names: Sequence[str],
+    params: Optional[Mapping[str, Dict[str, object]]] = None,
+    key: Optional[Callable] = None,
+) -> Axis:
+    """An axis sweeping the PHY's propagation model by registered name.
+
+    Each value is a name in :data:`repro.phy.registry.PROPAGATION_MODELS`;
+    ``params`` optionally maps a name to its ``propagation_params`` dict
+    (e.g. ``{"rician": {"k_factor": 8}}``).  The bound config keeps its
+    existing PHY profile (or the default) with only the propagation
+    fields replaced, so rate/threshold sweeps compose with this axis.
+    """
+    model_params = dict(params or {})
+
+    def bind(config: ScenarioConfig, name: str) -> ScenarioConfig:
+        phy = config.phy if config.phy is not None else PhyParams()
+        phy = dataclasses.replace(
+            phy, propagation=name, propagation_params=model_params.get(name)
+        )
+        return dataclasses.replace(config, phy=phy)
+
+    return Axis(values=tuple(names), bind=bind, key=key)
 
 
 def topology_axis(values: Sequence, build: Callable, key: Optional[Callable] = None) -> Axis:

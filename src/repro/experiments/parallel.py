@@ -64,8 +64,12 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 #:
 #: History: 1 = pre-mobility layout (PR 1); 2 = ``mobility`` field added;
 #: 3 = component-spec layer (``mac``/``routing``/``traffic`` canonicalized
-#: against the scheme-label aliases, ``max_deviation_sigmas`` in ``phy``).
-CACHE_SCHEMA_VERSION = 3
+#: against the scheme-label aliases, ``max_deviation_sigmas`` in ``phy``);
+#: 4 = component pack (``propagation``/``propagation_params`` in ``phy``,
+#: rate-adaptive MAC / Poisson traffic / trace topologies behind component
+#: params), so no pre-pack entry can alias a config that now carries
+#: component parameters those layouts could not express.
+CACHE_SCHEMA_VERSION = 4
 
 
 def config_digest(config: ScenarioConfig) -> str:

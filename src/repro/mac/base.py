@@ -75,6 +75,11 @@ class ChannelAccess:
         self._remaining_slots: Optional[int] = None
         self._difs_event: Optional[Event] = None
         self._slot_event: Optional[Event] = None
+        #: Optional per-exchange outcome hook ``listener(success: bool)``,
+        #: fired on every :meth:`record_success` / :meth:`record_failure`.
+        #: This is the seam rate-adaptation components observe link quality
+        #: through without wrapping the MAC's transmit path.
+        self.outcome_listener: Optional[Callable[[bool], None]] = None
 
     # ------------------------------------------------------------------
     # Control
@@ -99,10 +104,14 @@ class ChannelAccess:
     def record_success(self) -> None:
         """Reset the contention window after a successful exchange."""
         self.cw = self._timing.cw_min
+        if self.outcome_listener is not None:
+            self.outcome_listener(True)
 
     def record_failure(self) -> None:
         """Double the contention window after a failed exchange."""
         self.cw = min(self.cw * 2, self._timing.cw_max)
+        if self.outcome_listener is not None:
+            self.outcome_listener(False)
 
     # ------------------------------------------------------------------
     # Radio state transitions (forwarded by the owning MAC)

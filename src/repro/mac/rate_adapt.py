@@ -1,0 +1,135 @@
+"""ARF-style rate adaptation, composable over any contention-based MAC.
+
+Auto Rate Fallback (Kamerman & Monteban's ARF, the classic 802.11 rate
+control) as a *wrapper component*: the ``rate_adapt`` registry entry
+builds some inner scheme (``dcf`` by default; ``afr`` and ``ripple``
+compose too) and attaches an :class:`ArfRateController` that observes the
+inner MAC's per-exchange outcomes through the
+:attr:`~repro.mac.base.ChannelAccess.outcome_listener` seam:
+
+* ``up_after`` consecutive successful exchanges step the data rate one
+  rung up the ladder (the first exchange at the new rate is a *probe*: a
+  single failure steps straight back down, as in ARF);
+* ``down_after`` consecutive failures step one rung down.
+
+Rate changes swap the MAC's frozen :class:`~repro.phy.params.PhyParams`
+for a copy with the new *data* rate (the basic/control rate stays at the
+profile's value on every node, keeping the ACK-airtime/timeout contract
+between differently-adapted peers intact), so every airtime and timeout
+computed afterwards uses the new rate while carrier-sense/reception
+thresholds — and therefore the channel's culling geometry — stay
+untouched.
+
+The controller is a pure function of the exchange-outcome sequence: it
+draws no randomness, so rate-adaptive scenarios stay deterministic and
+parallel == serial.  Note that this simulator's bit-error model is
+rate-independent (losses depend on received power and frame *bits*, not
+modulation), so what ARF trades here is airtime and collision footprint
+rather than SNR margin — faithful protocol dynamics over a simplified
+PHY, exactly like the paper's own BER model.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+from repro.mac.base import MacLayer
+
+#: Ladder rungs per default ladder: base rate and three halvings below it.
+DEFAULT_LADDER_RUNGS = 4
+
+#: Classic ARF thresholds.
+DEFAULT_UP_AFTER = 10
+DEFAULT_DOWN_AFTER = 2
+
+
+def default_rate_ladder(data_rate_bps: float, rungs: int = DEFAULT_LADDER_RUNGS) -> Tuple[float, ...]:
+    """The default bitrate ladder: the PHY's data rate and halvings below it.
+
+    For the paper's high-rate profile (216 Mb/s) this yields
+    ``(27, 54, 108, 216)`` Mb/s; for the low-rate profile (6 Mb/s),
+    ``(0.75, 1.5, 3, 6)`` Mb/s — always ascending, topping out at the
+    scenario's own configured rate.
+    """
+    return tuple(data_rate_bps / (2 ** i) for i in reversed(range(rungs)))
+
+
+class ArfRateController:
+    """Steps one MAC's data rate up/down a bitrate ladder on exchange outcomes."""
+
+    def __init__(
+        self,
+        mac: MacLayer,
+        rates: Optional[Sequence[float]] = None,
+        up_after: int = DEFAULT_UP_AFTER,
+        down_after: int = DEFAULT_DOWN_AFTER,
+    ) -> None:
+        access = getattr(mac, "access", None)
+        if access is None:
+            raise ValueError(
+                f"{type(mac).__name__} exposes no ChannelAccess outcome seam; "
+                "rate adaptation composes with contention-based MACs (dcf, afr, ripple)"
+            )
+        if up_after < 1 or down_after < 1:
+            raise ValueError("up_after and down_after must be at least 1")
+        self.mac = mac
+        self.base_phy = mac.phy
+        ladder = tuple(float(rate) for rate in (rates or default_rate_ladder(mac.phy.data_rate_bps)))
+        if len(ladder) < 1 or any(b <= a for a, b in zip(ladder, ladder[1:])) or ladder[0] <= 0:
+            raise ValueError(f"rates must be a strictly ascending positive ladder, got {ladder}")
+        self.rates = ladder
+        self.up_after = int(up_after)
+        self.down_after = int(down_after)
+        # Start on the rung closest (in log space) to the configured rate.
+        self._index = min(
+            range(len(ladder)),
+            key=lambda i: abs(math.log(ladder[i]) - math.log(mac.phy.data_rate_bps)),
+        )
+        self._streak_up = 0
+        self._streak_down = 0
+        self._probing = False
+        self.steps_up = 0
+        self.steps_down = 0
+        self._apply()
+        access.outcome_listener = self.record_outcome
+
+    @property
+    def current_rate_bps(self) -> float:
+        """The data rate the MAC is currently transmitting at."""
+        return self.rates[self._index]
+
+    def record_outcome(self, success: bool) -> None:
+        """Feed one exchange outcome into the ARF state machine."""
+        if success:
+            self._streak_down = 0
+            self._probing = False
+            self._streak_up += 1
+            if self._streak_up >= self.up_after and self._index + 1 < len(self.rates):
+                self._index += 1
+                self.steps_up += 1
+                self._streak_up = 0
+                self._probing = True  # one failure at the probe rate falls back
+                self._apply()
+        else:
+            self._streak_up = 0
+            self._streak_down += 1
+            fall_back = self._probing or self._streak_down >= self.down_after
+            self._probing = False
+            if fall_back and self._index > 0:
+                self._index -= 1
+                self.steps_down += 1
+                self._streak_down = 0
+                self._apply()
+
+    def _apply(self) -> None:
+        # Only the data rate adapts; control frames stay at the profile's
+        # basic rate on every node.  Capping the basic rate per node would
+        # desynchronise the ACK-airtime contract between differently-adapted
+        # peers (a sender budgets its ACK timeout from its *own* basic rate,
+        # but receivers transmit ACKs at theirs), turning in-flight ACKs
+        # into spurious timeouts.
+        self.mac.phy = self.base_phy.with_rates(
+            data_rate_bps=self.rates[self._index],
+            basic_rate_bps=self.base_phy.basic_rate_bps,
+        )

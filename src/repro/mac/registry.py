@@ -74,6 +74,7 @@ def register_mac_scheme(name: str, label: str, opportunistic: bool, params: tupl
 
 @register_mac_scheme("dcf", label="D (802.11 DCF)", opportunistic=False)
 def _make_dcf(network, node, **kwargs):
+    """Plain IEEE 802.11 DCF over predetermined next hops (the paper's D bars)."""
     from repro.mac.dcf import DcfMac
 
     return DcfMac(
@@ -89,6 +90,7 @@ def _make_dcf(network, node, **kwargs):
 
 @register_mac_scheme("afr", label="A (AFR aggregation)", opportunistic=False)
 def _make_afr(network, node, **kwargs):
+    """DCF with aggregated frames and partial block-ACK retransmission (AFR, the A bars)."""
     from repro.mac.afr import AfrMac
 
     return AfrMac(
@@ -106,6 +108,7 @@ def _make_afr(network, node, **kwargs):
     "ripple", label="R16 (RIPPLE)", opportunistic=True, params=("aggregate_local_traffic",)
 )
 def _make_ripple(network, node, **kwargs):
+    """RIPPLE: opportunistic mTXOP relaying with two-way aggregation (the R16 bars)."""
     from repro.core.ripple import RippleMac
 
     return RippleMac(
@@ -127,6 +130,7 @@ def _make_ripple(network, node, **kwargs):
     params=("aggregate_local_traffic",),
 )
 def _make_ripple1(network, node, **kwargs):
+    """RIPPLE with aggregation disabled — one packet per mTXOP frame (the R1 bars)."""
     kwargs = dict(kwargs)
     kwargs["max_aggregation"] = 1
     return _make_ripple(network, node, **kwargs)
@@ -134,6 +138,7 @@ def _make_ripple1(network, node, **kwargs):
 
 @register_mac_scheme("preexor", label="preExOR", opportunistic=True)
 def _make_preexor(network, node, **kwargs):
+    """preExOR opportunistic forwarding (the Section II comparison baseline)."""
     from repro.routing.preexor import PreExorMac
 
     return PreExorMac(
@@ -148,6 +153,7 @@ def _make_preexor(network, node, **kwargs):
 
 @register_mac_scheme("mcexor", label="MCExOR", opportunistic=True)
 def _make_mcexor(network, node, **kwargs):
+    """MCExOR opportunistic forwarding (the Section II comparison baseline)."""
     from repro.routing.mcexor import McExorMac
 
     return McExorMac(
@@ -158,3 +164,31 @@ def _make_mcexor(network, node, **kwargs):
         network.timing,
         network.rng,
     )
+
+
+@register_mac_scheme(
+    "rate_adapt",
+    label="ARF rate adaptation (wraps another scheme)",
+    opportunistic=False,
+    params=("inner", "rates", "up_after", "down_after", "aggregate_local_traffic"),
+)
+def _make_rate_adapt(network, node, **kwargs):
+    """ARF rate adaptation wrapped around another registered scheme (``inner``, default dcf)."""
+    from repro.mac.rate_adapt import DEFAULT_DOWN_AFTER, DEFAULT_UP_AFTER, ArfRateController
+
+    kwargs = dict(kwargs)
+    inner_name = kwargs.pop("inner", "dcf")
+    rates = kwargs.pop("rates", None)
+    up_after = int(kwargs.pop("up_after", DEFAULT_UP_AFTER))
+    down_after = int(kwargs.pop("down_after", DEFAULT_DOWN_AFTER))
+    inner = MAC_SCHEMES.lookup(inner_name)
+    if inner.factory is _make_rate_adapt:
+        raise ValueError("rate_adapt cannot wrap itself")
+    inner.validate_kwargs(kwargs)
+    mac = inner.factory(network, node, **kwargs)
+    mac.rate_controller = ArfRateController(mac, rates=rates, up_after=up_after, down_after=down_after)
+    # The NetworkAgent must feed the *inner* scheme what it expects
+    # (forwarder lists for ripple, next hops for dcf/afr); install_stack
+    # reads this attribute in preference to the wrapper's registry flag.
+    mac.opportunistic_routing = inner.opportunistic
+    return mac

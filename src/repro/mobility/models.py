@@ -381,13 +381,18 @@ def register_mobility_model(name: str):
 
 @register_mobility_model("static")
 def _build_static(params: Dict[str, object], bounds: Optional[Bounds]) -> MobilityModel:
+    """Nobody moves — the paper's fixed-placement setting (schedules no events)."""
     if params:
         raise ValueError(f"static mobility takes no parameters, got {sorted(params)}")
     return StaticMobility()
 
 
+_build_static.doc_params = ()
+
+
 @register_mobility_model("random_waypoint")
 def _build_random_waypoint(params: Dict[str, object], bounds: Optional[Bounds]) -> MobilityModel:
+    """Random waypoint: travel to uniform destinations at a uniform speed, pause, repeat."""
     model = RandomWaypoint(
         speed_min_mps=float(params.pop("speed_min_mps", 0.0)),
         speed_max_mps=float(params.pop("speed_max_mps", 1.0)),
@@ -399,8 +404,12 @@ def _build_random_waypoint(params: Dict[str, object], bounds: Optional[Bounds]) 
     return model
 
 
+_build_random_waypoint.doc_params = ("speed_min_mps=0.0", "speed_max_mps=1.0", "pause_s=0.0")
+
+
 @register_mobility_model("gauss_markov")
 def _build_gauss_markov(params: Dict[str, object], bounds: Optional[Bounds]) -> MobilityModel:
+    """Gauss-Markov mobility: temporally correlated speed and heading (memory ``alpha``)."""
     model = GaussMarkov(
         mean_speed_mps=float(params.pop("mean_speed_mps", 1.0)),
         alpha=float(params.pop("alpha", 0.85)),
@@ -413,8 +422,17 @@ def _build_gauss_markov(params: Dict[str, object], bounds: Optional[Bounds]) -> 
     return model
 
 
+_build_gauss_markov.doc_params = (
+    "mean_speed_mps=1.0",
+    "alpha=0.85",
+    "speed_std_mps=0.3",
+    "heading_std_rad=0.5",
+)
+
+
 @register_mobility_model("trace")
 def _build_trace(params: Dict[str, object], bounds: Optional[Bounds]) -> MobilityModel:
+    """Replay recorded ``(t, x, y)`` position samples with linear interpolation."""
     traces = params.pop("traces", {})
     if params:
         raise ValueError(f"unknown trace-mobility parameters: {sorted(params)}")
@@ -424,3 +442,6 @@ def _build_trace(params: Dict[str, object], bounds: Optional[Bounds]) -> Mobilit
             for node_id, samples in traces.items()
         }
     )
+
+
+_build_trace.doc_params = ("traces={node_id: [(t_s, x, y), ...]}",)

@@ -5,7 +5,11 @@ This package replaces the NS-2 PHY the paper's evaluation runs on:
 * :mod:`repro.phy.params` — PHY rates, transmit power, reception and
   carrier-sense thresholds (Table I of the paper).
 * :mod:`repro.phy.propagation` — the log-distance + log-normal shadowing
-  model (path-loss exponent 5, deviation 8 dB, 281 mW) used in Section IV.
+  model (path-loss exponent 5, deviation 8 dB, 281 mW) used in Section IV,
+  plus Rayleigh and Rician (K-factor) small-scale fading variants.
+* :mod:`repro.phy.registry` — the named propagation-model registry
+  (``shadowing`` / ``rayleigh`` / ``rician``) scenario specs select from
+  via ``PhyParams.propagation``.
 * :mod:`repro.phy.error_models` — the i.i.d. bit-error model (BER 1e-5 and
   1e-6) applied per sub-packet, which is what makes partial retransmission
   under aggregation meaningful.
@@ -17,12 +21,24 @@ This package replaces the NS-2 PHY the paper's evaluation runs on:
 from repro.phy.channel import Transmission, WirelessChannel
 from repro.phy.error_models import BitErrorModel, FrameErrorResult
 from repro.phy.params import PhyParams
-from repro.phy.propagation import ShadowingPropagation
+from repro.phy.propagation import (
+    PathLossModel,
+    RayleighFading,
+    RicianFading,
+    ShadowingPropagation,
+)
 from repro.phy.radio import Radio, RadioState
+from repro.phy.registry import PROPAGATION_MODELS, build_propagation, register_propagation
 
 __all__ = [
     "PhyParams",
+    "PathLossModel",
     "ShadowingPropagation",
+    "RayleighFading",
+    "RicianFading",
+    "PROPAGATION_MODELS",
+    "build_propagation",
+    "register_propagation",
     "BitErrorModel",
     "FrameErrorResult",
     "Radio",

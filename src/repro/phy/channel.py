@@ -44,31 +44,32 @@ import numpy as np
 
 from repro.phy.error_models import BitErrorModel, FrameErrorResult
 from repro.phy.params import PhyParams
-from repro.phy.propagation import ShadowingPropagation, propagation_delay_ns
+from repro.phy.propagation import PathLossModel, propagation_delay_ns
 from repro.phy.radio import Radio, Reception
 from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
 
 class _LinkFadeStream:
-    """Buffered, bounded shadowing draws for one (sender, receiver) link.
+    """Buffered, bounded fade draws for one (sender, receiver) link.
 
-    Scalar ``Generator.normal()`` calls cost ~1.5 us each in numpy call
-    overhead; drawing a batch and serving it element-wise produces the
-    *identical* value sequence (numpy fills vectorised draws from the same
-    bit stream in order) at a fraction of the cost.  The buffer belongs to
-    the link's keyed RNG stream, not to the candidate cache: geometry
-    invalidation rebuilds candidate lists but keeps these objects, so a
-    link's fade sample path never depends on when radios happened to move.
+    Scalar generator calls cost ~1.5 us each in numpy call overhead;
+    drawing a batch through the propagation model's ``fade_batch_db`` and
+    serving it element-wise produces the *identical* value sequence
+    (models fill vectorised draws from the same bit stream in order — the
+    hot-path contract in :mod:`repro.phy.propagation`) at a fraction of
+    the cost.  The buffer belongs to the link's keyed RNG stream, not to
+    the candidate cache: geometry invalidation rebuilds candidate lists
+    but keeps these objects, so a link's fade sample path never depends on
+    when radios happened to move.
     """
 
     BATCH = 64
 
-    __slots__ = ("generator", "sigma", "bound", "_buffer", "_index")
+    __slots__ = ("generator", "propagation", "_buffer", "_index")
 
-    def __init__(self, generator: np.random.Generator, sigma: float, bound: float) -> None:
+    def __init__(self, generator: np.random.Generator, propagation) -> None:
         self.generator = generator
-        self.sigma = sigma
-        self.bound = bound
+        self.propagation = propagation
         self._buffer = None
         self._index = 0
 
@@ -82,9 +83,7 @@ class _LinkFadeStream:
         index = self._index
         buffer = self._buffer
         if buffer is None or index >= self.BATCH:
-            draws = self.generator.normal(0.0, self.sigma, self.BATCH)
-            np.clip(draws, -self.bound, self.bound, out=draws)
-            buffer = draws.tolist()
+            buffer = self.propagation.fade_batch_db(self.generator, self.BATCH).tolist()
             self._buffer = buffer
             index = 0
         self._index = index + 1
@@ -138,14 +137,18 @@ class WirelessChannel:
         self,
         sim: Simulator,
         params: PhyParams,
-        propagation: Optional[ShadowingPropagation] = None,
+        propagation: Optional[PathLossModel] = None,
         error_model: Optional[BitErrorModel] = None,
         rng: Optional[RandomStreams] = None,
         model_propagation_delay: bool = True,
     ) -> None:
         self.sim = sim
         self.params = params
-        self.propagation = propagation or ShadowingPropagation()
+        # No explicit model: build the one the PHY parameters name (default
+        # "shadowing" inheriting params.max_deviation_sigmas), so direct
+        # channel construction honours phy.propagation exactly like
+        # WirelessNetwork does.
+        self.propagation = propagation or params.build_propagation()
         self.error_model = error_model or BitErrorModel()
         self.rng = rng or RandomStreams()
         self.model_propagation_delay = model_propagation_delay
@@ -270,11 +273,9 @@ class WirelessChannel:
         key = (sender_id, receiver_id)
         fades = self._link_fades.get(key)
         if fades is None:
-            propagation = self.propagation
             fades = _LinkFadeStream(
                 self.rng.stream_for("shadowing", sender_id, receiver_id),
-                propagation.shadowing_deviation_db,
-                propagation.max_shadowing_db(),
+                self.propagation,
             )
             if len(self._link_fades) >= self.LINK_FADES_MAX:
                 self._link_fades.clear()

@@ -15,6 +15,7 @@ rate (``T_phyhdr`` in the paper's overhead formulas).
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, fields, replace
+from typing import Dict, Optional
 
 from repro.serialization import require_known_keys
 from repro.sim.units import transmission_time_ns, us
@@ -37,6 +38,33 @@ class PhyParams:
     #: 4σ ≈ 3e-5 trades a statistically tiny model deviation for a much
     #: tighter cull radius).  Sweepable through the config/spec layer.
     max_deviation_sigmas: float = 6.0
+    #: Which propagation model the channel installs, by name in
+    #: :data:`repro.phy.registry.PROPAGATION_MODELS` (``shadowing`` — the
+    #: paper's log-normal model — ``rayleigh``, ``rician``).
+    propagation: str = "shadowing"
+    #: Model-specific builder parameters (e.g. ``{"k_factor": 8}`` for
+    #: ``rician``); None means "all defaults".
+    propagation_params: Optional[Dict[str, object]] = None
+
+    def __post_init__(self) -> None:
+        from repro.phy.registry import PROPAGATION_MODELS
+
+        if self.propagation not in PROPAGATION_MODELS:
+            raise ValueError(
+                f"unknown propagation model {self.propagation!r}; "
+                f"known: {PROPAGATION_MODELS.known_names()}"
+            )
+        if self.propagation_params is not None and not isinstance(self.propagation_params, dict):
+            raise ValueError(
+                f"propagation_params must be a dict or None, "
+                f"got {type(self.propagation_params).__name__}"
+            )
+
+    def build_propagation(self):
+        """The propagation model instance these parameters select."""
+        from repro.phy.registry import build_propagation
+
+        return build_propagation(self)
 
     def data_airtime_ns(self, payload_bits: int) -> int:
         """Airtime of a frame body of ``payload_bits`` at the data rate, plus PLCP."""

@@ -1,35 +1,50 @@
-"""Log-distance path loss with log-normal shadowing.
+"""Propagation models: deterministic path loss plus per-frame fading.
 
 Section IV of the paper uses the NS-2 *Shadowing* propagation model with a
 path-loss exponent of 5, a shadowing deviation of 8 dB and a transmission
 power of 281 mW, "in which frame losses are proportional to the distance
 between stations" and losses on different links are independent.
+:class:`ShadowingPropagation` implements exactly that model and remains
+the default; :class:`RayleighFading` and :class:`RicianFading` add the
+classic multipath small-scale fading distributions on top of the same
+log-distance path loss.  Models are selected by name through
+:data:`repro.phy.registry.PROPAGATION_MODELS`.
 
-The model implemented here is the same one NS-2 implements:
+Every model decomposes the received power the same way:
 
-    Pr(d) [dBm] = Pt [dBm] - PL(d0) - 10 * beta * log10(d / d0) + X_sigma
+    Pr(d) [dBm] = Pt [dBm] - PL(d0) - 10 * beta * log10(d / d0) + F
 
 where ``PL(d0)`` is the free-space (Friis) loss at the reference distance
-``d0`` (1 m) and ``X_sigma`` is a zero-mean Gaussian with standard
-deviation ``sigma`` dB drawn independently for every frame on every link.
+``d0`` (1 m) and ``F`` is a random per-frame, per-link fade in dB —
+Gaussian for shadowing, ``10*log10`` of an exponential (Rayleigh) or
+non-central-chi-squared (Rician, K-factor) power gain for the fading
+models.
 
-The Gaussian is truncated at ``max_deviation_sigmas`` standard deviations
-(default 6, i.e. a clip probability of ~2e-9 per draw — statistically
-invisible at any simulated duration this repository runs).  The bound is
-what makes the channel's receiver culling *sound* rather than heuristic:
-a station whose deterministic power plus the maximum possible fade still
-falls below the carrier-sense threshold provably cannot sense the frame,
-so skipping it cannot change the simulation.
+**The fade bound contract.**  Every model clips its fades to a finite
+range and reports the largest possible *positive* excursion through
+:meth:`max_shadowing_db`.  The bound is what makes the channel's receiver
+culling *sound* rather than heuristic: a station whose deterministic
+power plus the maximum possible fade still falls below the carrier-sense
+threshold provably cannot sense the frame, so skipping it cannot change
+the simulation.  (For the Gaussian model the default 6-sigma truncation
+has a clip probability of ~2e-9 per draw — statistically invisible at any
+simulated duration this repository runs.)
+
+**The hot-path contract.**  The channel buffers fades per link through
+:meth:`fade_batch_db`; a model's batched draws must consume its generator
+exactly like repeated scalar draws would, so buffering never changes a
+link's sample path.
 
 Whether a given frame is *decodable* (received power above the reception
 threshold) or merely *sensed* (above the carrier-sense threshold) is
-decided by the channel from the power this model returns.
+decided by the channel from the power a model returns.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -37,9 +52,43 @@ import numpy as np
 SPEED_OF_LIGHT_M_PER_S = 3.0e8
 
 
+class PathLossModel:
+    """Shared log-distance path-loss math (the deterministic half of a model).
+
+    Subclasses are frozen dataclasses providing ``path_loss_exponent``,
+    ``reference_distance_m`` and ``frequency_hz`` fields plus the random
+    half of the interface: :meth:`fade_batch_db` (bounded per-frame fades,
+    consumed by the channel's per-link buffers), :meth:`max_shadowing_db`
+    (the largest possible positive fade — the culling margin) and
+    :meth:`reception_probability` (the closed-form outage used by ETX).
+    """
+
+    def reference_loss_db(self) -> float:
+        """Free-space path loss at the reference distance (Friis)."""
+        wavelength = SPEED_OF_LIGHT_M_PER_S / self.frequency_hz
+        return 20.0 * math.log10(4.0 * math.pi * self.reference_distance_m / wavelength)
+
+    def mean_received_power_dbm(self, tx_power_dbm: float, distance_m: float) -> float:
+        """Deterministic (no fading) received power at ``distance_m``."""
+        if distance_m <= 0:
+            return tx_power_dbm
+        distance_m = max(distance_m, self.reference_distance_m)
+        path_loss = self.reference_loss_db() + 10.0 * self.path_loss_exponent * math.log10(
+            distance_m / self.reference_distance_m
+        )
+        return tx_power_dbm - path_loss
+
+    def received_power_dbm(
+        self, tx_power_dbm: float, distance_m: float, rng: np.random.Generator
+    ) -> float:
+        """Received power with one independent, bounded fade draw for this frame."""
+        fade = float(self.fade_batch_db(rng, 1)[0])
+        return self.mean_received_power_dbm(tx_power_dbm, distance_m) + fade
+
+
 @dataclass(frozen=True)
-class ShadowingPropagation:
-    """NS-2 style log-normal shadowing propagation model."""
+class ShadowingPropagation(PathLossModel):
+    """NS-2 style log-normal shadowing propagation model (the paper's default)."""
 
     path_loss_exponent: float = 5.0
     shadowing_deviation_db: float = 8.0
@@ -53,20 +102,17 @@ class ShadowingPropagation:
         """Largest fade (in dB, either sign) a single draw can produce."""
         return self.shadowing_deviation_db * self.max_deviation_sigmas
 
-    def reference_loss_db(self) -> float:
-        """Free-space path loss at the reference distance (Friis)."""
-        wavelength = SPEED_OF_LIGHT_M_PER_S / self.frequency_hz
-        return 20.0 * math.log10(4.0 * math.pi * self.reference_distance_m / wavelength)
+    def fade_batch_db(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """``count`` independent bounded shadowing draws, in dB.
 
-    def mean_received_power_dbm(self, tx_power_dbm: float, distance_m: float) -> float:
-        """Deterministic (no shadowing) received power at ``distance_m``."""
-        if distance_m <= 0:
-            return tx_power_dbm
-        distance_m = max(distance_m, self.reference_distance_m)
-        path_loss = self.reference_loss_db() + 10.0 * self.path_loss_exponent * math.log10(
-            distance_m / self.reference_distance_m
-        )
-        return tx_power_dbm - path_loss
+        Must match :meth:`shadowing_db` draw for draw: numpy fills the
+        vectorised ``normal`` from the same bit stream as repeated scalar
+        calls, so the channel's per-link buffering is invisible.
+        """
+        draws = rng.normal(0.0, self.shadowing_deviation_db, count)
+        bound = self.max_shadowing_db()
+        np.clip(draws, -bound, bound, out=draws)
+        return draws
 
     def shadowing_db(self, rng: np.random.Generator) -> float:
         """One independent, bounded shadowing draw in dB.
@@ -136,6 +182,158 @@ class ShadowingPropagation:
         target_mean = threshold_dbm + offset
         loss_db = tx_power_dbm - target_mean - self.reference_loss_db()
         return self.reference_distance_m * 10.0 ** (loss_db / (10.0 * self.path_loss_exponent))
+
+
+@dataclass(frozen=True)
+class RicianFading(PathLossModel):
+    """Log-distance path loss with Rician (K-factor) small-scale fading.
+
+    The per-frame channel power gain is ``|h|^2`` for ``h = s + n`` with a
+    deterministic line-of-sight component ``s = sqrt(K/(K+1))`` and a
+    circularly symmetric scattered component ``n ~ CN(0, 1/(K+1))`` —
+    unit mean power, so the fade in dB (``10*log10 |h|^2``) is zero-mean
+    in the linear domain and the deterministic path loss keeps its
+    meaning.  ``k_factor`` is the *linear* LOS-to-scatter power ratio K
+    (K = 0 degenerates to Rayleigh fading; K -> infinity to no fading).
+
+    Fades are clipped to ``[min_fade_db, max_fade_db]``: the positive
+    bound is the culling margin the channel relies on (constructive
+    multipath above +10 dB has probability ~1e-5 at K = 0 and vanishes as
+    K grows), the negative bound keeps deep fades finite.
+    """
+
+    path_loss_exponent: float = 5.0
+    k_factor: float = 4.0
+    reference_distance_m: float = 1.0
+    frequency_hz: float = 2.4e9
+    #: Largest constructive fade a draw can produce (the culling margin).
+    max_fade_db: float = 10.0
+    #: Deepest destructive fade a draw can produce.
+    min_fade_db: float = -40.0
+
+    def __post_init__(self) -> None:
+        if self.k_factor < 0:
+            raise ValueError(f"k_factor must be non-negative, got {self.k_factor}")
+        if self.min_fade_db >= self.max_fade_db:
+            raise ValueError(
+                f"min_fade_db ({self.min_fade_db}) must lie below max_fade_db ({self.max_fade_db})"
+            )
+
+    def max_shadowing_db(self) -> float:
+        """Largest possible positive fade (the channel's culling margin)."""
+        return self.max_fade_db
+
+    def _gain_bounds(self) -> tuple:
+        return (10.0 ** (self.min_fade_db / 10.0), 10.0 ** (self.max_fade_db / 10.0))
+
+    def fade_batch_db(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """``count`` independent bounded Rician fades, in dB.
+
+        One standard-normal batch of ``2*count``, de-interleaved into the
+        in-phase/quadrature pair per fade — so fade ``i`` always consumes
+        normals ``2i`` and ``2i+1`` and the sample path is invariant to
+        the caller's buffer size (the hot-path contract).
+        """
+        k = self.k_factor
+        los = math.sqrt(k / (k + 1.0))
+        sigma = math.sqrt(1.0 / (2.0 * (k + 1.0)))
+        normals = rng.standard_normal(2 * count)
+        in_phase = sigma * normals[0::2] + los
+        quadrature = sigma * normals[1::2]
+        gains = in_phase * in_phase + quadrature * quadrature
+        np.clip(gains, *self._gain_bounds(), out=gains)
+        return 10.0 * np.log10(gains)
+
+    def gain_tail_probability(self, gain: float) -> float:
+        """P[unclipped channel power gain >= ``gain``] (the fade CCDF).
+
+        ``2*(K+1)*|h|^2`` is noncentral chi-squared with 2 degrees of
+        freedom and noncentrality ``2K``; scipy evaluates that exactly,
+        and a numpy trapezoid integration of the Rician power pdf stands
+        in when scipy is unavailable (tier-1 CI installs numpy only).
+        """
+        if gain <= 0.0:
+            return 1.0
+        k = self.k_factor
+        try:
+            from scipy.stats import ncx2  # local import: scipy is an optional heavy dep
+
+            return float(ncx2.sf(2.0 * (k + 1.0) * gain, df=2, nc=2.0 * k))
+        except ImportError:
+            return _rician_tail_numpy(gain, k)
+
+    def reception_probability(
+        self, tx_power_dbm: float, distance_m: float, threshold_dbm: float
+    ) -> float:
+        """Closed-form P[received power >= threshold] at ``distance_m``.
+
+        Matches the *clipped* draw distribution (same convention as
+        :meth:`ShadowingPropagation.reception_probability`): saturates to
+        exactly 1 (or 0) once the threshold clears (or exceeds) the fade
+        bounds, so ETX never weights links the simulation can provably
+        never deliver on.
+        """
+        mean = self.mean_received_power_dbm(tx_power_dbm, distance_m)
+        offset = threshold_dbm - mean
+        if offset <= self.min_fade_db:
+            return 1.0
+        if offset > self.max_fade_db:
+            return 0.0
+        return self.gain_tail_probability(10.0 ** (offset / 10.0))
+
+
+@dataclass(frozen=True)
+class RayleighFading(RicianFading):
+    """Log-distance path loss with Rayleigh small-scale fading.
+
+    The no-line-of-sight special case of :class:`RicianFading` (K = 0):
+    the channel power gain is exponentially distributed with unit mean,
+    so the fade CCDF is simply ``exp(-gain)``.  Kept as its own class
+    (and registry entry) because the K = 0 draw path needs only *one*
+    exponential batch per refill instead of two Gaussian ones — and
+    because "rayleigh" is the name everyone reaches for.
+    """
+
+    k_factor: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.k_factor != 0.0:
+            raise ValueError(
+                f"RayleighFading is the K=0 case; got k_factor={self.k_factor} "
+                "(use RicianFading for K > 0)"
+            )
+
+    def fade_batch_db(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """``count`` independent bounded Rayleigh fades, in dB."""
+        gains = rng.standard_exponential(count)
+        np.clip(gains, *self._gain_bounds(), out=gains)
+        return 10.0 * np.log10(gains)
+
+    def gain_tail_probability(self, gain: float) -> float:
+        """P[unclipped channel power gain >= ``gain``] = exp(-gain)."""
+        if gain <= 0.0:
+            return 1.0
+        return math.exp(-gain)
+
+
+@lru_cache(maxsize=4096)
+def _rician_tail_numpy(gain: float, k: float) -> float:
+    """Trapezoid integration of the Rician power pdf on [0, ``gain``].
+
+    pdf(w) = (K+1) * exp(-K - (K+1) w) * I0(2 sqrt(K (K+1) w)); integrating
+    the *head* and returning ``1 - cdf`` avoids truncating the unbounded
+    tail.  Only used when scipy is absent; accuracy (~1e-6 at 20k points)
+    is ample for the ETX link metric this feeds.  Memoised because ETX
+    re-estimation queries the same (distance-derived) gains for every node
+    pair on every tick — an all-pairs sweep over a 40-node mesh would
+    otherwise re-integrate tens of thousands of times.
+    """
+    points = 20_001
+    w = np.linspace(0.0, gain, points)
+    pdf = (k + 1.0) * np.exp(-k - (k + 1.0) * w) * np.i0(2.0 * np.sqrt(k * (k + 1.0) * w))
+    head = float(np.trapezoid(pdf, w)) if hasattr(np, "trapezoid") else float(np.trapz(pdf, w))
+    return max(0.0, min(1.0, 1.0 - head))
 
 
 def propagation_delay_ns(distance_m: float) -> int:

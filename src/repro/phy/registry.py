@@ -1,0 +1,105 @@
+"""The propagation model registry: how a scenario's PHY picks its channel model.
+
+Each entry is a builder ``build(phy, **params) -> PathLossModel`` invoked
+with the scenario's resolved :class:`~repro.phy.params.PhyParams`;
+``params`` come from ``PhyParams.propagation_params``, so a model's knobs
+are sweepable/JSON-addressable like every other component's::
+
+    --set phy.propagation=rician 'phy.propagation_params={"k_factor": 8}'
+
+The default entry, ``shadowing``, builds exactly the propagation object
+pre-registry scenarios always built (the NS-2 log-normal model inheriting
+the PHY's ``max_deviation_sigmas`` cull margin), so default runs are
+bit-identical to builds that predate the registry.
+"""
+
+from __future__ import annotations
+
+from repro.phy.propagation import (
+    PathLossModel,
+    RayleighFading,
+    RicianFading,
+    ShadowingPropagation,
+)
+from repro.registry import Registry
+
+#: The registry of propagation model builders.
+PROPAGATION_MODELS = Registry("propagation model")
+
+
+def register_propagation(name: str):
+    """Decorator registering a ``build(phy, **params) -> PathLossModel`` factory."""
+    return PROPAGATION_MODELS.register(name)
+
+
+@register_propagation("shadowing")
+def _build_shadowing(
+    phy,
+    *,
+    path_loss_exponent: float = 5.0,
+    shadowing_deviation_db: float = 8.0,
+    reference_distance_m: float = 1.0,
+    frequency_hz: float = 2.4e9,
+) -> ShadowingPropagation:
+    """Log-distance path loss with log-normal shadowing (NS-2 model, the paper's default)."""
+    return ShadowingPropagation(
+        path_loss_exponent=float(path_loss_exponent),
+        shadowing_deviation_db=float(shadowing_deviation_db),
+        reference_distance_m=float(reference_distance_m),
+        frequency_hz=float(frequency_hz),
+        max_deviation_sigmas=phy.max_deviation_sigmas,
+    )
+
+
+@register_propagation("rayleigh")
+def _build_rayleigh(
+    phy,
+    *,
+    path_loss_exponent: float = 5.0,
+    reference_distance_m: float = 1.0,
+    frequency_hz: float = 2.4e9,
+    max_fade_db: float = 10.0,
+    min_fade_db: float = -40.0,
+) -> RayleighFading:
+    """Rayleigh (no-line-of-sight multipath) fading over log-distance path loss."""
+    return RayleighFading(
+        path_loss_exponent=float(path_loss_exponent),
+        reference_distance_m=float(reference_distance_m),
+        frequency_hz=float(frequency_hz),
+        max_fade_db=float(max_fade_db),
+        min_fade_db=float(min_fade_db),
+    )
+
+
+@register_propagation("rician")
+def _build_rician(
+    phy,
+    *,
+    k_factor: float = 4.0,
+    path_loss_exponent: float = 5.0,
+    reference_distance_m: float = 1.0,
+    frequency_hz: float = 2.4e9,
+    max_fade_db: float = 10.0,
+    min_fade_db: float = -40.0,
+) -> RicianFading:
+    """Rician fading (line-of-sight K-factor multipath) over log-distance path loss."""
+    return RicianFading(
+        k_factor=float(k_factor),
+        path_loss_exponent=float(path_loss_exponent),
+        reference_distance_m=float(reference_distance_m),
+        frequency_hz=float(frequency_hz),
+        max_fade_db=float(max_fade_db),
+        min_fade_db=float(min_fade_db),
+    )
+
+
+def build_propagation(phy) -> PathLossModel:
+    """Build the propagation model named by ``phy.propagation`` with its params."""
+    builder = PROPAGATION_MODELS.lookup(phy.propagation)
+    params = dict(phy.propagation_params or {})
+    try:
+        return builder(phy, **params)
+    except TypeError as exc:
+        raise ValueError(
+            f"bad parameters for propagation model {phy.propagation!r}: {exc}"
+        ) from exc

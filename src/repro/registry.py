@@ -23,6 +23,13 @@ Registries are *closed* against accidents: registering a name twice
 raises (a silent overwrite would make behaviour depend on import order),
 and looking up an unknown name raises an error that lists what *is*
 registered.
+
+Besides plain names, a registry can hold **prefix entries**
+(:meth:`Registry.add_prefix`): an entry addressed as ``prefix:argument``,
+where the argument is free-form — the mechanism behind path-addressed
+components like ``topology=trace:nodes.csv``.  A prefixed name is
+resolved by its prefix alone; :meth:`Registry.split_prefixed` recovers
+the argument for the caller to hand to the entry.
 """
 
 from __future__ import annotations
@@ -51,6 +58,7 @@ class Registry:
         self.kind = kind
         self._entries: Dict[str, object] = {}
         self._aliases: Dict[str, str] = {}
+        self._prefixes: Dict[str, object] = {}
 
     # ------------------------------------------------------------------
     # Write side
@@ -76,6 +84,31 @@ class Registry:
 
         return decorate
 
+    def add_prefix(self, prefix: str, entry: T) -> T:
+        """Register ``entry`` for every name of the form ``prefix:<argument>``.
+
+        The argument after the colon is free-form (a file path, a URL, an
+        expression) and is recovered with :meth:`split_prefixed`; how it is
+        interpreted is entirely the entry's business.
+        """
+        if not prefix or not isinstance(prefix, str) or ":" in prefix:
+            raise RegistryError(
+                f"{self.kind} prefix must be a non-empty string without ':', got {prefix!r}"
+            )
+        if prefix in self._entries or prefix in self._aliases or prefix in self._prefixes:
+            raise RegistryError(f"duplicate {self.kind} registration {prefix!r}")
+        self._prefixes[prefix] = entry
+        return entry
+
+    def register_prefix(self, prefix: str) -> Callable[[T], T]:
+        """Decorator form of :meth:`add_prefix`; returns the object unchanged."""
+
+        def decorate(entry: T) -> T:
+            self.add_prefix(prefix, entry)
+            return entry
+
+        return decorate
+
     def alias(self, alias: str, target: str) -> None:
         """Make ``alias`` resolve to the already-registered ``target``."""
         if target not in self._entries:
@@ -94,8 +127,24 @@ class Registry:
         """Resolve an alias to its canonical name (identity for canonical names)."""
         return self._aliases.get(name, name)
 
+    def split_prefixed(self, name: object) -> Optional[Tuple[str, str]]:
+        """``(prefix, argument)`` when ``name`` addresses a prefix entry, else None."""
+        if not isinstance(name, str) or ":" not in name:
+            return None
+        prefix, _, argument = name.partition(":")
+        if prefix not in self._prefixes:
+            return None
+        return prefix, argument
+
     def lookup(self, name: str):
-        """The entry registered under ``name`` (or an alias); raises if unknown."""
+        """The entry registered under ``name`` (or an alias/prefix); raises if unknown.
+
+        For a prefixed name (``trace:nodes.csv``) this returns the prefix
+        entry; pair with :meth:`split_prefixed` to recover the argument.
+        """
+        prefixed = self.split_prefixed(name)
+        if prefixed is not None:
+            return self._prefixes[prefixed[0]]
         canonical = self.canonical_name(name)
         try:
             return self._entries[canonical]
@@ -106,11 +155,25 @@ class Registry:
 
     def get(self, name: str, default=None):
         """Mapping-style lookup returning ``default`` for unknown names."""
+        prefixed = self.split_prefixed(name)
+        if prefixed is not None:
+            return self._prefixes[prefixed[0]]
         return self._entries.get(self._aliases.get(name, name), default)
 
     def known_names(self) -> List[str]:
-        """Canonical names plus aliases, sorted (for error messages/help)."""
-        return sorted([*self._entries, *self._aliases])
+        """Canonical names plus aliases and prefix forms, sorted (for errors/help)."""
+        return sorted([*self._entries, *self._aliases, *(f"{p}:<arg>" for p in self._prefixes)])
+
+    def prefixes(self) -> Tuple[str, ...]:
+        """Registered prefixes in registration order."""
+        return tuple(self._prefixes)
+
+    def aliases_of(self, name: str) -> List[str]:
+        """Aliases resolving to canonical ``name``, sorted (for docs/help)."""
+        return sorted(alias for alias, target in self._aliases.items() if target == name)
+
+    def prefix_items(self):
+        return self._prefixes.items()
 
     def names(self) -> Tuple[str, ...]:
         """Canonical names in registration order."""
@@ -126,7 +189,11 @@ class Registry:
         return self._entries.keys()
 
     def __contains__(self, name: object) -> bool:
-        return name in self._entries or name in self._aliases
+        return (
+            name in self._entries
+            or name in self._aliases
+            or self.split_prefixed(name) is not None
+        )
 
     def __iter__(self) -> Iterator[str]:
         return iter(self._entries)

@@ -6,19 +6,28 @@ component plus its parameters:
 
 * :class:`MacSpec` — a MAC/forwarding scheme from
   :data:`repro.mac.registry.MAC_SCHEMES` (``dcf``, ``afr``, ``ripple``,
-  ``ripple1``, ``preexor``, ``mcexor``);
+  ``ripple1``, ``preexor``, ``mcexor``, the ``rate_adapt`` ARF wrapper);
 * :class:`RoutingSpec` — a routing strategy from
   :data:`repro.routing.registry.ROUTING_STRATEGIES` (``static``,
   ``shortest_path``, ``adaptive_etx``/``etx``);
 * :class:`TrafficSpec` — a traffic kind from
   :data:`repro.traffic.registry.TRAFFIC_KINDS` (``tcp``, ``web``,
-  ``voip``, ``udp-saturating``) or the default ``"flows"``, meaning
-  "drive each flow according to its own :class:`FlowSpec.kind`";
+  ``voip``, ``udp-saturating``, ``poisson``) or the default ``"flows"``,
+  meaning "drive each flow according to its own :class:`FlowSpec.kind`";
 * :class:`TopologyRef` — a named topology builder from
   :data:`repro.topology.registry.TOPOLOGIES` with builder parameters
-  (``line``/``n_hops=6``, ``roofnet``/``include_hidden=true``, ...);
+  (``line``/``n_hops=6``, ``roofnet``/``include_hidden=true``,
+  ``trace:<path>`` for external CSV/JSON files, ...);
 * :class:`~repro.mobility.spec.MobilitySpec` — already spec-shaped —
   rides alongside unchanged.
+
+The propagation model is part of the PHY rather than a separate spec:
+``PhyParams.propagation`` names an entry of
+:data:`repro.phy.registry.PROPAGATION_MODELS` (``shadowing``,
+``rayleigh``, ``rician``) with ``propagation_params`` as its knobs.
+
+The generated reference for every registered component lives in
+``docs/COMPONENTS.md`` (``python -m repro.docs``).
 
 :class:`ScenarioSpec` composes them into one JSON document that fully
 describes a simulation.  ``ScenarioSpec.from_dict(json.load(f)).to_config()``

@@ -33,7 +33,8 @@ from repro.mac.timing import DEFAULT_TIMING, MacTiming
 from repro.phy.channel import WirelessChannel
 from repro.phy.error_models import BitErrorModel
 from repro.phy.params import PhyParams
-from repro.phy.propagation import ShadowingPropagation
+from repro.phy.propagation import PathLossModel
+from repro.phy.registry import build_propagation
 from repro.phy.radio import Radio
 from repro.routing.agent import NetworkAgent
 from repro.routing.base import RoutingProtocol
@@ -54,7 +55,7 @@ class WirelessNetwork:
     def __init__(
         self,
         phy: Optional[PhyParams] = None,
-        propagation: Optional[ShadowingPropagation] = None,
+        propagation: Optional[PathLossModel] = None,
         error_model: Optional[BitErrorModel] = None,
         timing: Optional[MacTiming] = None,
         seed: int = 1,
@@ -63,11 +64,10 @@ class WirelessNetwork:
         self.rng = RandomStreams(seed=seed)
         self.phy = phy or PhyParams()
         self.timing = timing or DEFAULT_TIMING
-        # The default propagation model inherits the PHY's cull margin, so
-        # max_deviation_sigmas is sweepable from the config/spec layer.
-        self.propagation = propagation or ShadowingPropagation(
-            max_deviation_sigmas=self.phy.max_deviation_sigmas
-        )
+        # The propagation model comes from the PHY's named registry entry
+        # (default "shadowing", which inherits the PHY's cull margin — so
+        # max_deviation_sigmas stays sweepable from the config/spec layer).
+        self.propagation = propagation or build_propagation(self.phy)
         self.error_model = error_model or BitErrorModel()
         self.channel = WirelessChannel(
             self.sim,
@@ -108,8 +108,12 @@ class WirelessNetwork:
         self.routing = routing
         for node in self.nodes.values():
             node.mac = info.factory(self, node, **mac_kwargs)
+            # Wrapper schemes (rate_adapt) build some inner MAC and record the
+            # routing style it actually consumes on the instance; plain
+            # schemes fall through to their registry flag.
+            opportunistic = getattr(node.mac, "opportunistic_routing", info.opportunistic)
             node.network = NetworkAgent(
-                node.node_id, routing, node.mac, opportunistic=info.opportunistic
+                node.node_id, routing, node.mac, opportunistic=opportunistic
             )
 
     def install_transport(self) -> None:

@@ -11,6 +11,12 @@ Registered builders cover the paper's layouts (``fig1``, ``fig5a``,
 ``fig5b``, ``line``, ``wigle``, ``roofnet``) plus the re-flavoured Fig. 1
 variants carrying VoIP (``fig1-voip``, alias ``voip``) and web flows
 (``fig1-web``, alias ``web``).
+
+External datasets load through the ``trace:`` *prefix entry*: a name of
+the form ``trace:<path>`` resolves to the CSV/JSON loader of
+:mod:`repro.topology.tracefile` with the path as its argument, so
+``--set topology=trace:site.csv`` runs a file that was never registered
+in code.
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ def register_topology(name: str):
 
 @register_topology("fig1")
 def _fig1() -> TopologySpec:
+    """The paper's Fig. 1 reference mesh (three TCP flows, ROUTE0/1/2 tables)."""
     from repro.topology.standard import fig1_topology
 
     return fig1_topology()
@@ -36,6 +43,7 @@ def _fig1() -> TopologySpec:
 
 @register_topology("fig1-voip")
 def _fig1_voip(flows_per_pair: int = 10) -> TopologySpec:
+    """Fig. 1 placement re-flavoured with bidirectional VoIP streams per pair."""
     from repro.topology.standard import voip_topology
 
     return voip_topology(flows_per_pair=int(flows_per_pair))
@@ -43,6 +51,7 @@ def _fig1_voip(flows_per_pair: int = 10) -> TopologySpec:
 
 @register_topology("fig1-web")
 def _fig1_web(flows_per_pair: int = 10) -> TopologySpec:
+    """Fig. 1 placement re-flavoured with ON/OFF web transfer flows per pair."""
     from repro.topology.standard import web_topology
 
     return web_topology(flows_per_pair=int(flows_per_pair))
@@ -50,6 +59,7 @@ def _fig1_web(flows_per_pair: int = 10) -> TopologySpec:
 
 @register_topology("fig5a")
 def _fig5a(n_flows: int = 9) -> TopologySpec:
+    """Fig. 5(a): parallel single-hop flows contending on one collision domain."""
     from repro.topology.standard import fig5a_topology
 
     return fig5a_topology(n_flows=int(n_flows))
@@ -57,6 +67,7 @@ def _fig5a(n_flows: int = 9) -> TopologySpec:
 
 @register_topology("fig5b")
 def _fig5b(n_hidden: int = 9) -> TopologySpec:
+    """Fig. 5(b): one measured flow plus hidden-terminal UDP interferers."""
     from repro.topology.standard import fig5b_topology
 
     return fig5b_topology(n_hidden=int(n_hidden))
@@ -64,6 +75,7 @@ def _fig5b(n_hidden: int = 9) -> TopologySpec:
 
 @register_topology("line")
 def _line(n_hops: int = 5, cross_traffic: bool = False) -> TopologySpec:
+    """A straight relay chain of ``n_hops`` reliable hops (Fig. 7), optional cross traffic."""
     from repro.topology.standard import line_topology
 
     return line_topology(int(n_hops), cross_traffic=bool(cross_traffic))
@@ -71,6 +83,7 @@ def _line(n_hops: int = 5, cross_traffic: bool = False) -> TopologySpec:
 
 @register_topology("wigle")
 def _wigle(include_hidden: bool = True) -> TopologySpec:
+    """The Wigle-derived city block topology (Fig. 9/10) with optional hidden load."""
     from repro.topology.wigle import wigle_topology
 
     return wigle_topology(include_hidden=bool(include_hidden))
@@ -78,9 +91,18 @@ def _wigle(include_hidden: bool = True) -> TopologySpec:
 
 @register_topology("roofnet")
 def _roofnet(include_hidden: bool = False, seed: int = 7) -> TopologySpec:
+    """The synthetic Roofnet-like rooftop mesh (Fig. 11/12), seeded layout."""
     from repro.topology.roofnet import roofnet_scenario
 
     return roofnet_scenario(include_hidden=bool(include_hidden), seed=int(seed))
+
+
+@TOPOLOGIES.register_prefix("trace")
+def _trace(path: str, good_link_m: float = 160.0) -> TopologySpec:
+    """External CSV/JSON node+flow file loaded (and validated) from ``path``."""
+    from repro.topology.tracefile import load_trace_topology
+
+    return load_trace_topology(path, good_link_m=float(good_link_m))
 
 
 TOPOLOGIES.alias("voip", "fig1-voip")
@@ -88,10 +110,16 @@ TOPOLOGIES.alias("web", "fig1-web")
 
 
 def build_topology(name: str, **params) -> TopologySpec:
-    """Build and validate the named topology with ``params`` applied."""
+    """Build and validate the named topology with ``params`` applied.
+
+    A prefixed name (``trace:<path>``) resolves to the prefix entry with
+    the part after the colon as its first argument, so trace files are
+    addressed exactly like registered builders.
+    """
     builder = TOPOLOGIES.lookup(name)
+    prefixed = TOPOLOGIES.split_prefixed(name)
     try:
-        spec = builder(**params)
+        spec = builder(prefixed[1], **params) if prefixed is not None else builder(**params)
     except TypeError as exc:
         raise ValueError(f"bad parameters for topology {name!r}: {exc}") from exc
     return spec.validate()

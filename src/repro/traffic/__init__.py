@@ -1,7 +1,8 @@
-"""Traffic generators: long-lived TCP, web ON/OFF, VoIP on-off, CBR/saturating UDP."""
+"""Traffic generators: long-lived TCP, web ON/OFF, VoIP on-off, CBR/saturating UDP, Poisson sessions."""
 
 from repro.traffic.cbr import CbrSource, SaturatingSource
 from repro.traffic.ftp import FtpApplication
+from repro.traffic.poisson import PoissonFlow
 from repro.traffic.registry import TRAFFIC_KINDS, FlowDriver, register_traffic
 from repro.traffic.voip import VoipFlow
 from repro.traffic.web import WebFlow, pareto_transfer_bytes
@@ -13,6 +14,7 @@ __all__ = [
     "CbrSource",
     "SaturatingSource",
     "FtpApplication",
+    "PoissonFlow",
     "VoipFlow",
     "WebFlow",
     "pareto_transfer_bytes",

@@ -168,5 +168,43 @@ def _install_voip(network, config, flow) -> FlowDriver:
     return _VoipDriver(flow, sender, receiver, voip)
 
 
+class _PoissonDriver(_UdpDriver):
+    def reset_stats(self) -> None:
+        super().reset_stats()
+        self.source.reset_stats()
+
+
+@register_traffic("poisson")
+def _install_poisson(
+    network,
+    config,
+    flow,
+    *,
+    arrival_rate_hz: float = 4.0,
+    mean_holding_s: float = 0.5,
+    bitrate_bps: float = 400_000.0,
+    packet_interval_ms: float = 10.0,
+) -> FlowDriver:
+    """Poisson session arrivals with exponential holding times over UDP (M/M/∞)."""
+    from repro.traffic.poisson import PoissonFlow
+    from repro.transport.udp import UdpReceiver, UdpSender
+
+    src_host = network.node(flow.src).transport
+    dst_host = network.node(flow.dst).transport
+    sender = UdpSender(network.sim, src_host, flow.flow_id, flow.dst)
+    receiver = UdpReceiver(network.sim, dst_host, flow.flow_id)
+    source = PoissonFlow(
+        network.sim,
+        sender,
+        network.rng.stream_for("poisson", flow.flow_id),
+        arrival_rate_hz=float(arrival_rate_hz),
+        mean_holding_s=float(mean_holding_s),
+        bitrate_bps=float(bitrate_bps),
+        packet_interval_ms=float(packet_interval_ms),
+    )
+    source.start()
+    return _PoissonDriver(flow, sender, receiver, source)
+
+
 TRAFFIC_KINDS.alias("ftp", "tcp")
 TRAFFIC_KINDS.alias("cbr", "udp-saturating")

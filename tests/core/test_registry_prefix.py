@@ -1,0 +1,64 @@
+"""Registry prefix entries (the mechanism behind ``topology=trace:<path>``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.registry import Registry, RegistryError
+
+
+def make_registry():
+    registry = Registry("gadget")
+
+    @registry.register("plain")
+    def _plain():
+        """A plain entry."""
+
+    @registry.register_prefix("file")
+    def _file(argument):
+        """A prefixed entry."""
+        return argument
+
+    return registry
+
+
+class TestPrefixEntries:
+    def test_contains_and_lookup_by_prefix(self):
+        registry = make_registry()
+        assert "file:/some/path.csv" in registry
+        assert registry.lookup("file:a.txt")("x") == "x"
+        assert registry.get("file:a.txt") is not None
+
+    def test_split_prefixed_recovers_the_argument(self):
+        registry = make_registry()
+        assert registry.split_prefixed("file:a:b.csv") == ("file", "a:b.csv")
+        assert registry.split_prefixed("plain") is None
+        assert registry.split_prefixed("nope:a") is None
+        assert registry.split_prefixed(42) is None
+
+    def test_unprefixed_colon_names_still_unknown(self):
+        registry = make_registry()
+        assert "nope:a" not in registry
+        with pytest.raises(RegistryError, match="unknown gadget"):
+            registry.lookup("nope:a")
+
+    def test_known_names_advertise_the_prefix_form(self):
+        assert "file:<arg>" in make_registry().known_names()
+
+    def test_prefix_collisions_raise(self):
+        registry = make_registry()
+        with pytest.raises(RegistryError, match="duplicate"):
+            registry.add_prefix("file", object())
+        with pytest.raises(RegistryError, match="duplicate"):
+            registry.add_prefix("plain", object())
+        with pytest.raises(RegistryError, match="without ':'"):
+            registry.add_prefix("a:b", object())
+
+    def test_canonical_name_is_identity_for_prefixed(self):
+        assert make_registry().canonical_name("file:x.csv") == "file:x.csv"
+
+    def test_aliases_of_lists_alias_names(self):
+        registry = make_registry()
+        registry.alias("simple", "plain")
+        assert registry.aliases_of("plain") == ["simple"]
+        assert registry.aliases_of("file") == []

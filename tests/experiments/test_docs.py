@@ -1,0 +1,95 @@
+"""The generated component reference: content, freshness, failure modes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.docs import (
+    DocsError,
+    check_freshness,
+    generate_components_markdown,
+    main,
+    registry_sections,
+)
+from repro.registry import Registry
+
+
+class TestGeneration:
+    def test_every_registry_section_present(self):
+        titles = [section.title for section in registry_sections()]
+        assert titles == [
+            "Topologies",
+            "MAC schemes",
+            "Routing strategies",
+            "Traffic kinds",
+            "Mobility models",
+            "Propagation models",
+        ]
+
+    def test_all_new_components_listed(self):
+        markdown = generate_components_markdown()
+        for name in ("rate_adapt", "poisson", "rayleigh", "rician", "trace:<arg>", "shadowing"):
+            assert f"`{name}`" in markdown, name
+
+    def test_aliases_and_params_rendered(self):
+        markdown = generate_components_markdown()
+        assert "`etx`" in markdown  # adaptive_etx alias
+        assert "`k_factor=4.0`" in markdown  # rician builder signature
+        assert "`arrival_rate_hz=4.0`" in markdown  # poisson installer signature
+        assert "`speed_min_mps=0.0`" in markdown  # mobility doc_params
+
+    def test_generation_is_deterministic(self):
+        assert generate_components_markdown() == generate_components_markdown()
+
+    def test_every_description_is_nonempty(self):
+        for section in registry_sections():
+            for row in section.rows:
+                assert row.description.strip(), (section.title, row.name)
+
+    def test_undocumented_component_fails_the_build(self):
+        from repro.docs import _plain_rows
+
+        registry = Registry("demo widget")
+
+        @registry.register("undocumented")
+        def _build():  # noqa: no docstring on purpose
+            pass
+
+        with pytest.raises(DocsError, match="demo widget 'undocumented'"):
+            _plain_rows(registry, skip=0)
+
+
+class TestFreshness:
+    def test_committed_copy_is_fresh(self):
+        """The repo's docs/COMPONENTS.md must match the live registries."""
+        assert check_freshness("docs/COMPONENTS.md") is None
+
+    def test_stale_copy_yields_a_diff(self, tmp_path):
+        stale = tmp_path / "COMPONENTS.md"
+        stale.write_text("# old\n", encoding="utf-8")
+        diff = check_freshness(str(stale))
+        assert diff is not None and "generated" in diff
+
+    def test_missing_copy_is_stale(self, tmp_path):
+        assert check_freshness(str(tmp_path / "nope.md")) is not None
+
+
+class TestCli:
+    def test_check_mode_exit_codes(self, tmp_path, capsys):
+        target = tmp_path / "COMPONENTS.md"
+        assert main(["--output", str(target)]) == 0  # writes
+        assert main(["--check", "--output", str(target)]) == 0  # fresh
+        target.write_text("# stale\n", encoding="utf-8")
+        assert main(["--check", "--output", str(target)]) == 1
+        capsys.readouterr()
+
+    def test_stdout_mode_prints_markdown(self, capsys):
+        assert main(["--stdout"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# Component reference")
+
+    def test_experiments_list_markdown_matches_generator(self, capsys):
+        from repro.experiments.__main__ import main as experiments_main
+
+        assert experiments_main(["list", "--markdown"]) == 0
+        assert capsys.readouterr().out == generate_components_markdown()

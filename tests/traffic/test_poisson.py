@@ -1,0 +1,106 @@
+"""Poisson session traffic: arrival statistics, determinism, installer wiring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import ScenarioConfig, run_scenario
+from repro.sim.engine import Simulator
+from repro.spec import TrafficSpec
+from repro.topology.standard import line_topology
+from repro.traffic.poisson import PoissonFlow
+
+
+class _RecordingSender:
+    def __init__(self):
+        self.sent = []
+
+    def send(self, size_bytes):
+        self.sent.append(size_bytes)
+
+
+class TestPoissonFlow:
+    def drive(self, seed=1, duration_s=50.0, **kwargs):
+        sim = Simulator()
+        sender = _RecordingSender()
+        flow = PoissonFlow(sim, sender, np.random.default_rng(seed), **kwargs)
+        flow.start()
+        sim.run(until=int(duration_s * 1e9))
+        return flow, sender
+
+    def test_session_count_matches_the_arrival_rate(self):
+        flow, _ = self.drive(duration_s=50.0, arrival_rate_hz=4.0, mean_holding_s=0.2)
+        # ~200 expected arrivals; 5 sigma ~ 70.
+        assert 130 <= flow.stats.sessions_started <= 270
+
+    def test_packet_volume_matches_the_offered_load(self):
+        flow, sender = self.drive(
+            duration_s=50.0, arrival_rate_hz=4.0, mean_holding_s=0.5, packet_interval_ms=10.0
+        )
+        # Each session sends ~holding/interval packets; E[total] ~ 4*50*0.5*100 = 10000.
+        assert sender.sent
+        assert flow.stats.packets_sent == len(sender.sent)
+        assert 7000 <= flow.stats.packets_sent <= 13000
+
+    def test_packet_size_derived_from_bitrate(self):
+        flow, _ = self.drive(duration_s=1.0, bitrate_bps=400_000.0, packet_interval_ms=10.0)
+        assert flow.packet_bytes == 500  # 400 kb/s * 10 ms / 8
+
+    def test_deterministic_given_seed(self):
+        first, sender_a = self.drive(seed=9, duration_s=10.0)
+        second, sender_b = self.drive(seed=9, duration_s=10.0)
+        assert first.stats == second.stats
+        assert sender_a.sent == sender_b.sent
+
+    def test_invalid_parameters_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            PoissonFlow(sim, _RecordingSender(), np.random.default_rng(0), arrival_rate_hz=0.0)
+        with pytest.raises(ValueError):
+            PoissonFlow(sim, _RecordingSender(), np.random.default_rng(0), mean_holding_s=-1.0)
+
+    def test_reset_stats_preserves_active_sessions(self):
+        flow, _ = self.drive(duration_s=5.0, arrival_rate_hz=10.0, mean_holding_s=2.0)
+        active = flow.stats.sessions_active
+        flow.reset_stats()
+        assert flow.stats.packets_sent == 0
+        assert flow.stats.sessions_active == active
+
+
+class TestInstaller:
+    CONFIG = dict(duration_s=0.3, seed=5)
+
+    def test_reflavours_flows_and_delivers(self):
+        config = ScenarioConfig(
+            topology=line_topology(3),
+            traffic=TrafficSpec("poisson", {"arrival_rate_hz": 30.0}),
+            **self.CONFIG,
+        )
+        result = run_scenario(config)
+        (flow,) = result.flows
+        assert flow.kind == "udp"
+        assert flow.packets_received > 0
+
+    def test_warmup_reset_drops_prewarmup_packets(self):
+        base = dict(
+            topology=line_topology(3),
+            traffic=TrafficSpec("poisson", {"arrival_rate_hz": 30.0}),
+            duration_s=0.3,
+            seed=5,
+        )
+        full_span = run_scenario(ScenarioConfig(**{**base, "duration_s": 0.6}))
+        warmed = run_scenario(ScenarioConfig(warmup_s=0.3, **base))
+        # Both simulate 0.6 s, but the warmed run's counters cover only the
+        # 0.3 s measurement window — strictly less than the whole span
+        # (sessions provably start in [0, 0.3) at this arrival rate).
+        assert 0 < warmed.flows[0].packets_sent < full_span.flows[0].packets_sent
+
+    def test_unknown_installer_param_rejected(self):
+        config = ScenarioConfig(
+            topology=line_topology(3),
+            traffic=TrafficSpec("poisson", {"arrivals": 1}),
+            **self.CONFIG,
+        )
+        with pytest.raises(TypeError):
+            run_scenario(config)
