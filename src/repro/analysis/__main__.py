@@ -1,0 +1,145 @@
+"""CLI for the determinism & cache-soundness static-analysis pass.
+
+::
+
+    python -m repro.analysis                     # full pass; exit 1 on findings
+    python -m repro.analysis --rule no-unkeyed-rng
+    python -m repro.analysis --format json       # machine-readable findings
+    python -m repro.analysis --list              # rule catalogue (one line each)
+    python -m repro.analysis --write-docs        # regenerate docs/ANALYSIS.md
+    python -m repro.analysis --check-docs        # exit 1 if ANALYSIS.md is stale
+
+Exit status: 0 = clean, 1 = findings (or stale docs), 2 = usage error.
+CI runs the bare form plus ``--check-docs`` and gates on both.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.base import ANALYSIS_RULES
+from repro.analysis.docs import (
+    DEFAULT_OUTPUT,
+    check_freshness,
+    generate_analysis_markdown,
+)
+from repro.analysis.driver import analyze, known_rule_ids, repo_root
+
+#: Schema version of the ``--format json`` document.
+JSON_SCHEMA_VERSION = 1
+
+
+def _render_text(findings, out) -> None:
+    for finding in findings:
+        print(finding.render(), file=out)
+    noun = "finding" if len(findings) == 1 else "findings"
+    print(f"{len(findings)} {noun}", file=out)
+
+
+def _render_json(findings, root: Path, out) -> None:
+    document = {
+        "schema": JSON_SCHEMA_VERSION,
+        "root": str(root),
+        "count": len(findings),
+        "findings": [finding.to_dict() for finding in findings],
+    }
+    json.dump(document, out, indent=2, sort_keys=True)
+    out.write("\n")
+
+
+def _list_rules(out) -> None:
+    for rule_id in known_rule_ids():
+        rule = ANALYSIS_RULES.lookup(rule_id)
+        print(f"{rule_id}: {rule.title}", file=out)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Determinism & cache-soundness static analysis over src/repro.",
+    )
+    parser.add_argument(
+        "modules",
+        nargs="*",
+        metavar="MODULE",
+        help="restrict source rules to modules whose path contains MODULE "
+        "(project-wide rules are skipped when given)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="ID",
+        help="run only this rule id (repeatable; see --list)",
+    )
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--root", metavar="DIR", help="repository root (default: auto-detected)")
+    parser.add_argument("--list", action="store_true", help="print the rule catalogue and exit")
+    parser.add_argument(
+        "--write-docs",
+        action="store_true",
+        help=f"regenerate {DEFAULT_OUTPUT} from the rule registry and exit",
+    )
+    parser.add_argument(
+        "--check-docs",
+        action="store_true",
+        help=f"exit 1 (with a diff) if the committed {DEFAULT_OUTPUT} is stale",
+    )
+    parser.add_argument(
+        "--docs-output",
+        default=None,
+        metavar="PATH",
+        help=f"where --write-docs/--check-docs look (default: <root>/{DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+
+    root = Path(args.root) if args.root else repo_root()
+
+    if args.list:
+        _list_rules(sys.stdout)
+        return 0
+
+    docs_path = args.docs_output or str(root / DEFAULT_OUTPUT)
+    if args.write_docs:
+        markdown = generate_analysis_markdown()
+        with open(docs_path, "w", encoding="utf-8") as handle:
+            handle.write(markdown)
+        print(f"wrote {docs_path}")
+        return 0
+    if args.check_docs:
+        diff = check_freshness(docs_path)
+        if diff is None:
+            print(f"{docs_path} is up to date")
+            return 0
+        print(diff, end="")
+        print(
+            f"\n{docs_path} is stale; regenerate with: "
+            "PYTHONPATH=src python -m repro.analysis --write-docs"
+        )
+        return 1
+
+    if args.rules:
+        unknown = [rule for rule in args.rules if rule not in known_rule_ids()]
+        if unknown:
+            parser.error(
+                f"unknown rule id(s) {unknown}; known: {known_rule_ids()}"
+            )
+
+    findings = analyze(
+        root=root,
+        rule_ids=args.rules,
+        modules=args.modules or None,
+    )
+    if args.format == "json":
+        _render_json(findings, root, sys.stdout)
+    else:
+        _render_text(findings, sys.stdout)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,181 @@
+"""Rule model and registry for the static-analysis pass.
+
+Rules are *instances* registered in :data:`ANALYSIS_RULES` — the same
+write-once :class:`repro.registry.Registry` the simulator's component
+layers use, so rule ids share the component registries' guarantees
+(duplicate ids raise, unknown ids raise naming what exists) and the rule
+catalogue in ``docs/ANALYSIS.md`` can be generated exactly the way
+``docs/COMPONENTS.md`` is.
+
+Two rule shapes exist:
+
+* :class:`SourceRule` — pure AST analysis of one module at a time.  Each
+  rule contributes a :class:`Checker` whose node handlers are merged
+  into **one** shared tree walk per file (the driver visits every node
+  once, dispatching to every interested rule), so adding rules does not
+  multiply parse or walk cost.
+* :class:`ProjectRule` — the semi-static layer: runs once per pass with
+  import access to the live package, for properties that need real
+  objects (dataclass fields vs ``to_dict()`` source, registry entries,
+  ``from_dict`` strictness probes).
+
+A rule's class docstring is its rationale in the generated catalogue;
+like registered components, an undocumented rule fails the docs build.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Tuple, Type, TypeVar
+
+from repro.analysis.findings import Finding
+from repro.analysis.pragmas import PragmaIndex
+from repro.registry import Registry
+
+#: Registry of rule instances, keyed by rule id.
+ANALYSIS_RULES = Registry("analysis rule")
+
+RuleT = TypeVar("RuleT", bound="Rule")
+
+
+def register_rule(rule_class: Type[RuleT]) -> Type[RuleT]:
+    """Class decorator: instantiate the rule and register it under its id."""
+    ANALYSIS_RULES.add(rule_class.id, rule_class())
+    return rule_class
+
+
+@dataclass
+class ModuleContext:
+    """Everything a :class:`SourceRule` may inspect about one module."""
+
+    #: Path relative to the repository root (``src/repro/sim/engine.py``);
+    #: what findings report.
+    path: str
+    #: Path relative to the ``src`` root (``repro/sim/engine.py``); what
+    #: rule scopes match against.
+    module: str
+    source: str
+    tree: ast.Module
+    pragmas: PragmaIndex
+
+    def finding(self, rule: "Rule", node: ast.AST, message: str) -> Finding:
+        """A finding of ``rule`` anchored at ``node`` in this module."""
+        return Finding(
+            rule=rule.id,
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+@dataclass
+class ProjectContext:
+    """What a :class:`ProjectRule` sees: the repo root and the module list."""
+
+    root: Path
+    #: ``(repo-relative path, src-relative module path)`` pairs in the pass.
+    modules: Tuple[Tuple[str, str], ...] = ()
+
+
+class Rule:
+    """Common rule surface: identity, scope, and module matching."""
+
+    #: Unique rule id; the pragma/CLI/docs handle.
+    id: str = ""
+    #: One-line summary shown in listings.
+    title: str = ""
+    #: fnmatch patterns (against the src-relative module path) the rule
+    #: examines.  ``repro/*`` means the whole package.
+    include: Tuple[str, ...] = ("repro/*",)
+    #: Module paths exempt from the rule — the per-rule allowlist for
+    #: whole files whose business *is* the banned construct (e.g.
+    #: ``repro/sim/rng.py`` may construct generators).
+    allow_modules: Tuple[str, ...] = ()
+
+    def applies_to(self, module: str) -> bool:
+        """Whether this rule examines ``module`` (a src-relative path)."""
+        if any(fnmatch.fnmatch(module, pattern) for pattern in self.allow_modules):
+            return False
+        return any(fnmatch.fnmatch(module, pattern) for pattern in self.include)
+
+
+class Checker:
+    """Per-module collector a :class:`SourceRule` hands to the shared walk.
+
+    Subclasses declare node handlers via :meth:`handlers`; the driver
+    calls each handler for every matching node of the single shared tree
+    walk, then collects :attr:`findings` through :meth:`finish`.
+    """
+
+    def __init__(self, rule: "SourceRule", ctx: ModuleContext) -> None:
+        self.rule = rule
+        self.ctx = ctx
+        self.findings: List[Finding] = []
+
+    def emit(self, node: ast.AST, message: str) -> None:
+        self.findings.append(self.ctx.finding(self.rule, node, message))
+
+    def handlers(self) -> Dict[type, Callable[[ast.AST], None]]:
+        """Mapping of AST node type -> handler for the shared walk."""
+        raise NotImplementedError
+
+    def finish(self) -> List[Finding]:
+        """Findings for this module, called after the walk completes."""
+        return self.findings
+
+
+class SourceRule(Rule):
+    """An AST rule: one :class:`Checker` per examined module."""
+
+    def checker(self, ctx: ModuleContext) -> Checker:
+        raise NotImplementedError
+
+
+class ProjectRule(Rule):
+    """A semi-static rule: runs once per pass against the live package."""
+
+    def check_project(self, ctx: ProjectContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+class SharedWalk(ast.NodeVisitor):
+    """The one tree walk per module every source rule shares.
+
+    Handlers from all interested rules are merged by node type; each node
+    is visited exactly once regardless of how many rules inspect it.
+    """
+
+    def __init__(self, checkers: Iterable[Checker]) -> None:
+        self._handlers: Dict[type, List[Callable[[ast.AST], None]]] = {}
+        for checker in checkers:
+            for node_type, handler in checker.handlers().items():
+                self._handlers.setdefault(node_type, []).append(handler)
+
+    def generic_visit(self, node: ast.AST) -> None:
+        for handler in self._handlers.get(type(node), ()):
+            handler(node)
+        super().generic_visit(node)
+
+    visit = generic_visit
+
+
+def dotted_name(node: ast.AST) -> str:
+    """Best-effort dotted form of a Name/Attribute chain (``np.random.default_rng``).
+
+    Non-name links (calls, subscripts) truncate the chain; the result is
+    only ever used for suffix/equality matching, so a truncated chain
+    simply fails to match.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    else:
+        parts.append("")
+    return ".".join(reversed(parts))

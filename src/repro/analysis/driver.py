@@ -1,0 +1,168 @@
+"""The analysis driver: file discovery, the shared walk, suppression.
+
+One pass = parse each module under ``src/repro`` once, run every
+in-scope :class:`~repro.analysis.base.SourceRule` over a single shared
+tree walk, apply the file's ``# repro: allow[...]`` pragmas, then run
+each :class:`~repro.analysis.base.ProjectRule` once.  The result is a
+sorted, deduplicated list of :class:`~repro.analysis.findings.Finding`
+records — empty on a clean tree, which is what CI gates on.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.base import (
+    ANALYSIS_RULES,
+    Checker,
+    ModuleContext,
+    ProjectContext,
+    ProjectRule,
+    Rule,
+    SharedWalk,
+    SourceRule,
+)
+from repro.analysis.findings import Finding, sorted_findings
+from repro.analysis.pragmas import PRAGMA_RULE_ID, PragmaIndex
+
+#: Files under ``src`` the pass never examines (nothing is generated
+#: today; the hook exists so generated modules can be excluded later).
+_EXCLUDED_MODULES: Tuple[str, ...] = ()
+
+
+def repo_root() -> Path:
+    """The repository root, derived from this file's location in ``src``."""
+    return Path(__file__).resolve().parents[3]
+
+
+def iter_modules(root: Optional[Path] = None) -> List[Tuple[str, str]]:
+    """``(repo-relative path, src-relative module)`` for every analyzed file."""
+    root = Path(root) if root is not None else repo_root()
+    src = root / "src"
+    modules: List[Tuple[str, str]] = []
+    for path in sorted((src / "repro").rglob("*.py")):
+        module = path.relative_to(src).as_posix()
+        if module in _EXCLUDED_MODULES:
+            continue
+        modules.append((path.relative_to(root).as_posix(), module))
+    return modules
+
+
+def _load_rules(rule_ids: Optional[Sequence[str]]) -> List[Rule]:
+    """Resolve requested rule ids (default: every registered rule).
+
+    Importing :mod:`repro.analysis.rules` populates the registry; it is
+    deferred to here so rule modules may themselves import the driver.
+    """
+    import repro.analysis.rules  # noqa: F401  (registration side effect)
+
+    if rule_ids is None:
+        return [rule for _, rule in ANALYSIS_RULES.items()]
+    return [ANALYSIS_RULES.lookup(rule_id) for rule_id in rule_ids]
+
+
+def known_rule_ids() -> List[str]:
+    """Every registered rule id (sorted), for the CLI and pragma validation."""
+    import repro.analysis.rules  # noqa: F401  (registration side effect)
+
+    return sorted(ANALYSIS_RULES.keys())
+
+
+def _analyze_module(
+    ctx: ModuleContext, rules: Iterable[SourceRule], validate_pragmas: bool
+) -> List[Finding]:
+    """Run the shared walk of ``ctx`` for every in-scope source rule."""
+    checkers: List[Checker] = [
+        rule.checker(ctx) for rule in rules if rule.applies_to(ctx.module)
+    ]
+    findings: List[Finding] = []
+    if checkers:
+        SharedWalk(checkers).visit(ctx.tree)
+        for checker in checkers:
+            findings.extend(checker.finish())
+    findings = [
+        finding
+        for finding in findings
+        if not ctx.pragmas.suppresses(finding.rule, finding.line)
+    ]
+    if validate_pragmas:
+        findings.extend(ctx.pragmas.errors())
+    return findings
+
+
+def _module_context(path: str, module: str, source: str) -> ModuleContext:
+    tree = ast.parse(source, filename=path)
+    pragmas = PragmaIndex(path, source, known_rules=set(known_rule_ids()))
+    return ModuleContext(path=path, module=module, source=source, tree=tree, pragmas=pragmas)
+
+
+def analyze_source(
+    source: str,
+    module: str = "repro/_snippet_.py",
+    rule_ids: Optional[Sequence[str]] = None,
+    path: Optional[str] = None,
+) -> List[Finding]:
+    """Analyze one in-memory module (the test fixtures' entry point).
+
+    ``module`` is the src-relative path the snippet pretends to live at,
+    which is what rule scopes (hot-path dirs, allowlists) match against.
+    """
+    rules = _load_rules(rule_ids)
+    source_rules = [rule for rule in rules if isinstance(rule, SourceRule)]
+    ctx = _module_context(path or f"src/{module}", module, source)
+    return sorted_findings(
+        _analyze_module(ctx, source_rules, validate_pragmas=rule_ids is None)
+    )
+
+
+def analyze(
+    root: Optional[Path] = None,
+    rule_ids: Optional[Sequence[str]] = None,
+    modules: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Run the full pass and return every surviving finding.
+
+    ``rule_ids`` restricts the pass to the named rules (pragma-syntax
+    validation only runs with the full set, so ``--rule X`` output stays
+    focused).  ``modules`` restricts the source rules to src-relative
+    module paths matching any of the given substrings.
+    """
+    root = Path(root) if root is not None else repo_root()
+    rules = _load_rules(rule_ids)
+    source_rules = [rule for rule in rules if isinstance(rule, SourceRule)]
+    project_rules = [rule for rule in rules if isinstance(rule, ProjectRule)]
+    validate_pragmas = rule_ids is None
+
+    all_modules = iter_modules(root)
+    selected = all_modules
+    if modules:
+        selected = [
+            (path, module)
+            for path, module in all_modules
+            if any(wanted in module or wanted in path for wanted in modules)
+        ]
+
+    findings: List[Finding] = []
+    for path, module in selected:
+        source = (root / path).read_text(encoding="utf-8")
+        try:
+            ctx = _module_context(path, module, source)
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    rule=PRAGMA_RULE_ID,
+                    path=path,
+                    line=exc.lineno or 1,
+                    message=f"module does not parse: {exc.msg}",
+                )
+            )
+            continue
+        findings.extend(_analyze_module(ctx, source_rules, validate_pragmas))
+
+    if modules is None:
+        project_ctx = ProjectContext(root=root, modules=tuple(all_modules))
+        for rule in project_rules:
+            findings.extend(rule.check_project(project_ctx))
+    return sorted_findings(findings)

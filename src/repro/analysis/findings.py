@@ -1,0 +1,50 @@
+"""The :class:`Finding` record every analysis rule emits.
+
+A finding pins one contract violation to a source location.  Findings
+are value objects: the driver sorts and deduplicates them, the CLI
+renders them as ``path:line: [rule-id] message`` text or as JSON, and
+the test-suite asserts on them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    #: Rule id, e.g. ``"no-unkeyed-rng"`` (a key of ``ANALYSIS_RULES``).
+    rule: str
+    #: Repo-relative posix path, e.g. ``"src/repro/topology/roofnet.py"``.
+    path: str
+    #: 1-indexed source line the violation anchors to.
+    line: int
+    #: Human-readable description of the violation and the fix direction.
+    message: str
+    #: 0-indexed column offset (as reported by ``ast``).
+    column: int = 0
+
+    def render(self) -> str:
+        """The canonical one-line text form (clickable ``path:line``)."""
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe representation used by ``--format json``."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+        }
+
+    def sort_key(self):
+        return (self.path, self.line, self.column, self.rule, self.message)
+
+
+def sorted_findings(findings: Iterable[Finding]) -> List[Finding]:
+    """Deduplicated findings in stable (path, line, rule) order."""
+    return sorted(set(findings), key=Finding.sort_key)

@@ -1,0 +1,137 @@
+"""Inline suppression pragmas: ``# repro: allow[rule-id] reason``.
+
+A pragma acknowledges one specific finding where it occurs, with a
+mandatory human-readable justification — the reviewed, greppable
+alternative to globally weakening a rule.  It applies to findings on its
+own line or, when written as a comment-only line, to the line directly
+below it::
+
+    rng = np.random.default_rng(seed)  # repro: allow[no-unkeyed-rng] seed-scoped layout draw
+
+    # repro: allow[no-wall-clock] progress display only, never in results
+    started = time.perf_counter()
+
+Malformed pragmas are themselves findings (rule id ``pragma``): a
+missing reason, an unknown rule id, or a ``# repro:`` comment that is
+not an ``allow[...]`` form would otherwise rot silently while appearing
+to suppress something.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.findings import Finding
+
+#: Rule id under which malformed pragmas are reported.  Not suppressible.
+PRAGMA_RULE_ID = "pragma"
+
+#: A well-formed pragma comment: the *whole* comment reads
+#: ``repro: allow`` + bracketed rule id + reason.
+_ALLOW_RE = re.compile(r"^#+\s*repro:\s*allow\[([A-Za-z0-9_-]*)\]\s*(.*)$")
+
+#: A comment that *starts* as a repro pragma (possibly malformed).  Only
+#: comment tokens are scanned (never string literals), and only comments
+#: that lead with the marker — prose merely mentioning the syntax does
+#: not trigger.
+_INTENT_RE = re.compile(r"^#+\s*repro\s*:")
+
+
+def _comment_tokens(source: str):
+    """``(line, column, text)`` for every comment token in ``source``.
+
+    Tokenizing (rather than scanning raw lines) is what keeps pragma
+    syntax *mentioned inside string literals and docstrings* — like this
+    module's own documentation — from being parsed as pragmas.
+    """
+    comments = []
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                comments.append((token.start[0], token.start[1], token.string))
+    except (tokenize.TokenError, IndentationError):
+        # The driver only analyzes modules that already parsed; a
+        # tokenizer hiccup should not take the pragma layer down with it.
+        pass
+    return comments
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed suppression: which rule, where, and why."""
+
+    rule: str
+    #: 1-indexed line the pragma comment sits on.
+    line: int
+    #: Line findings must sit on to be suppressed (the pragma's own line,
+    #: or the next line for comment-only pragmas).
+    target_line: int
+    reason: str
+
+
+class PragmaIndex:
+    """All pragmas of one file, queryable by (rule, line)."""
+
+    def __init__(self, path: str, source: str, known_rules: Set[str]) -> None:
+        self.path = path
+        self._suppressions: Set[Tuple[str, int]] = set()
+        self._errors: List[Finding] = []
+        self.pragmas: List[Pragma] = []
+        self._parse(source, known_rules)
+
+    def _parse(self, source: str, known_rules: Set[str]) -> None:
+        lines = source.splitlines()
+        for index, column, text in _comment_tokens(source):
+            if not _INTENT_RE.match(text):
+                continue
+            match = _ALLOW_RE.match(text)
+            if match is None:
+                self._error(index, "malformed pragma; expected '# repro: allow[rule-id] reason'")
+                continue
+            rule, reason = match.group(1), match.group(2).strip()
+            if not rule:
+                self._error(index, "pragma names no rule; expected '# repro: allow[rule-id] reason'")
+                continue
+            if known_rules and rule not in known_rules:
+                self._error(
+                    index,
+                    f"pragma allows unknown rule {rule!r}; known: {sorted(known_rules)}",
+                )
+                continue
+            if not reason:
+                self._error(
+                    index,
+                    f"pragma allow[{rule}] gives no reason; every suppression "
+                    "must say why the violation is acceptable",
+                )
+                continue
+            # A comment-only pragma line covers the statement below it;
+            # a trailing pragma covers its own line.
+            comment_only = not lines[index - 1][:column].strip() if index <= len(lines) else True
+            target = index + 1 if comment_only else index
+            self.pragmas.append(Pragma(rule=rule, line=index, target_line=target, reason=reason))
+            self._suppressions.add((rule, target))
+
+    def _error(self, line: int, message: str) -> None:
+        self._errors.append(
+            Finding(rule=PRAGMA_RULE_ID, path=self.path, line=line, message=message)
+        )
+
+    def suppresses(self, rule: str, line: int) -> bool:
+        """Whether a finding of ``rule`` at ``line`` is pragma-suppressed."""
+        return (rule, line) in self._suppressions
+
+    def errors(self) -> List[Finding]:
+        """Findings for every malformed pragma in the file."""
+        return list(self._errors)
+
+    def by_rule(self) -> Dict[str, List[Pragma]]:
+        """Well-formed pragmas grouped by the rule they suppress."""
+        grouped: Dict[str, List[Pragma]] = {}
+        for pragma in self.pragmas:
+            grouped.setdefault(pragma.rule, []).append(pragma)
+        return grouped

@@ -1,0 +1,171 @@
+"""``digest-coverage``: every config field reaches the cache digest.
+
+The sweep cache (:mod:`repro.experiments.parallel`) keys results by a
+content hash of ``config.to_dict()``.  A dataclass field added without a
+matching key in ``to_dict()`` is therefore a *cache-corruption* bug, not
+a style issue: two configs differing only in the new field hash
+identically, and the sweep serves one's cached result for the other.
+
+This rule is semi-static: it imports each serializable class, takes its
+``dataclasses.fields`` as ground truth, and parses the **source** of its
+``to_dict`` method for the dict keys it emits (literal keys, ``d["k"] =``
+subscript stores, or a blanket ``dataclasses.asdict`` call).  Parsing
+the source rather than calling the method means conditionally-emitted
+keys (e.g. ``ScenarioConfig``'s canonicalized ``mac``/``routing``/
+``traffic``) count as covered without having to construct probe
+instances for every branch.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib
+import inspect
+import textwrap
+from dataclasses import fields, is_dataclass
+from pathlib import Path
+from typing import Iterable, List, Set, Tuple
+
+from repro.analysis.base import ProjectContext, ProjectRule, dotted_name, register_rule
+from repro.analysis.findings import Finding
+
+#: Serializable classes whose ``to_dict`` output feeds ``config_digest``
+#: (directly, or nested inside ``ScenarioConfig.to_dict``).  A new
+#: digest-relevant dataclass belongs on this list — the meta-test in
+#: ``tests/analysis`` keeps the list itself from rotting.
+DIGEST_CLASSES: Tuple[str, ...] = (
+    "repro.experiments.runner.ScenarioConfig",
+    "repro.phy.params.PhyParams",
+    "repro.mobility.spec.MobilitySpec",
+    "repro.spec.MacSpec",
+    "repro.spec.RoutingSpec",
+    "repro.spec.TrafficSpec",
+    "repro.spec.TopologyRef",
+    "repro.spec.ScenarioSpec",
+    "repro.topology.spec.TopologySpec",
+    "repro.topology.spec.FlowSpec",
+)
+
+
+def load_class(dotted_path: str) -> type:
+    """Import ``"pkg.module.Class"`` and return the class object."""
+    module_name, _, class_name = dotted_path.rpartition(".")
+    return getattr(importlib.import_module(module_name), class_name)
+
+
+def _emitted_keys(func) -> Tuple[Set[str], bool]:
+    """``(keys, uses_asdict)`` statically collected from a ``to_dict`` body.
+
+    Keys are string constants used as dict-literal keys or as subscript
+    stores (``data["key"] = ...``); an ``asdict(...)`` call anywhere in
+    the body covers every field at once.
+    """
+    source = textwrap.dedent(inspect.getsource(func))
+    tree = ast.parse(source)
+    keys: Set[str] = set()
+    uses_asdict = False
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    keys.add(key.value)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.slice, ast.Constant)
+                    and isinstance(target.slice.value, str)
+                ):
+                    keys.add(target.slice.value)
+        elif isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name == "asdict" or name.endswith(".asdict"):
+                uses_asdict = True
+    return keys, uses_asdict
+
+
+def uncovered_fields(cls: type) -> List[str]:
+    """Dataclass fields of ``cls`` that its ``to_dict`` source never emits.
+
+    An empty list means the serialization covers every field (or
+    delegates wholesale to ``asdict``).  Raises ``TypeError`` for a
+    non-dataclass and ``AttributeError`` when ``to_dict`` is missing —
+    both are reported as findings by the rule, and surfaced directly
+    when called from tests on scratch classes.
+    """
+    if not is_dataclass(cls):
+        raise TypeError(f"{cls.__name__} is not a dataclass")
+    to_dict = inspect.getattr_static(cls, "to_dict", None)
+    if to_dict is None:
+        raise AttributeError(f"{cls.__name__} has no to_dict")
+    keys, uses_asdict = _emitted_keys(cls.to_dict)
+    if uses_asdict:
+        return []
+    return [f.name for f in fields(cls) if f.name not in keys and not f.name.startswith("_")]
+
+
+def _location(root: Path, obj) -> Tuple[str, int]:
+    """Repo-relative ``(path, line)`` of a class/function, for findings."""
+    try:
+        source_file = inspect.getsourcefile(obj)
+        _, line = inspect.getsourcelines(obj)
+    except (OSError, TypeError):
+        return "src/repro", 1
+    path = Path(source_file or "src/repro")
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix(), line
+    except ValueError:
+        return path.as_posix(), line
+
+
+@register_rule
+class DigestCoverage(ProjectRule):
+    """Serialized config classes must emit every dataclass field.
+
+    For each class on :data:`DIGEST_CLASSES` the rule checks that every
+    ``dataclasses.fields`` entry appears among the dict keys its
+    ``to_dict`` source emits.  An uncovered field means two different
+    configs can share a sweep-cache digest — fix the serialization *and*
+    bump ``CACHE_SCHEMA_VERSION`` so entries written by the buggy layout
+    are never reused.
+    """
+
+    id = "digest-coverage"
+    title = "dataclass field missing from the to_dict() the cache hashes"
+
+    def check_project(self, ctx: ProjectContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for dotted_path in DIGEST_CLASSES:
+            try:
+                cls = load_class(dotted_path)
+            except (ImportError, AttributeError) as exc:
+                findings.append(
+                    Finding(
+                        rule=self.id,
+                        path="src/repro/analysis/rules/digest.py",
+                        line=1,
+                        message=f"DIGEST_CLASSES names {dotted_path!r} which does not import: {exc}",
+                    )
+                )
+                continue
+            findings.extend(self._check_class(ctx.root, cls))
+        return findings
+
+    def _check_class(self, root: Path, cls: type) -> Iterable[Finding]:
+        path, line = _location(root, cls)
+        try:
+            missing = uncovered_fields(cls)
+        except (TypeError, AttributeError) as exc:
+            yield Finding(rule=self.id, path=path, line=line, message=str(exc))
+            return
+        for field_name in missing:
+            yield Finding(
+                rule=self.id,
+                path=path,
+                line=line,
+                message=(
+                    f"{cls.__name__}.{field_name} never appears in {cls.__name__}.to_dict(); "
+                    "two configs differing only in this field would share a cache digest — "
+                    "serialize it and bump CACHE_SCHEMA_VERSION"
+                ),
+            )

@@ -1,0 +1,162 @@
+"""``registry-hygiene``: the component registries stay usable and documented.
+
+The registries are the public face of the scenario API: everything in
+them must be resolvable by name from a JSON spec, rendered into the
+generated ``docs/COMPONENTS.md``, and safe against stale cache entries
+through strict ``from_dict`` parsing.  This rule re-checks those
+properties against the *live* registries on every pass, so a component
+merged without a docstring, a dangling alias, or a spec class whose
+``from_dict`` silently swallows unknown keys is a lint failure rather
+than a latent doc/CLI/cache bug.
+"""
+
+from __future__ import annotations
+
+import inspect
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+from repro.analysis.base import ProjectContext, ProjectRule, register_rule
+from repro.analysis.findings import Finding
+from repro.analysis.rules.digest import DIGEST_CLASSES, _location, load_class
+
+#: The component registries under hygiene, as ``(module, attribute)``.
+COMPONENT_REGISTRIES: Tuple[Tuple[str, str], ...] = (
+    ("repro.mac.registry", "MAC_SCHEMES"),
+    ("repro.routing.registry", "ROUTING_STRATEGIES"),
+    ("repro.traffic.registry", "TRAFFIC_KINDS"),
+    ("repro.topology.registry", "TOPOLOGIES"),
+    ("repro.mobility.models", "MOBILITY_MODELS"),
+    ("repro.phy.registry", "PROPAGATION_MODELS"),
+)
+
+#: Key no serializable class can legitimately accept: the strictness probe.
+_PROBE_KEY = "__repro_analysis_probe__"
+
+
+def _entry_factory(entry) -> object:
+    """The callable behind a registry entry (MAC entries wrap theirs)."""
+    return getattr(entry, "factory", entry)
+
+
+@register_rule
+class RegistryHygiene(ProjectRule):
+    """Registered components resolve, document themselves, and parse strictly.
+
+    Checks, against the live registries: every entry's factory is
+    callable and has the docstring the generated reference consumes;
+    every alias resolves to a registered name; every prefix entry is
+    callable and documented; and every serializable spec/config class
+    exposes ``to_dict`` plus a *strict* ``from_dict`` (probed with an
+    unknown key, which must raise ``SpecError`` — anything laxer lets a
+    stale or corrupted cache entry load as a half-default config).
+    """
+
+    id = "registry-hygiene"
+    title = "component registry entry unusable, undocumented or lax"
+
+    def check_project(self, ctx: ProjectContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for module_name, attribute in COMPONENT_REGISTRIES:
+            findings.extend(self._check_registry(ctx.root, module_name, attribute))
+        for dotted_path in DIGEST_CLASSES:
+            findings.extend(self._check_spec_class(ctx.root, dotted_path))
+        return findings
+
+    # ------------------------------------------------------------------
+    # Registries
+    # ------------------------------------------------------------------
+    def _check_registry(
+        self, root: Path, module_name: str, attribute: str
+    ) -> Iterable[Finding]:
+        registry_path = f"src/{module_name.replace('.', '/')}.py"
+        try:
+            registry = load_class(f"{module_name}.{attribute}")
+        except (ImportError, AttributeError) as exc:
+            yield Finding(
+                rule=self.id,
+                path=registry_path,
+                line=1,
+                message=f"registry {module_name}.{attribute} does not import: {exc}",
+            )
+            return
+        entries = list(registry.items()) + [
+            (f"{prefix}:<arg>", entry) for prefix, entry in registry.prefix_items()
+        ]
+        for name, entry in entries:
+            factory = _entry_factory(entry)
+            path, line = _location(root, factory)
+            if not callable(factory):
+                yield Finding(
+                    rule=self.id,
+                    path=registry_path,
+                    line=1,
+                    message=f"{registry.kind} {name!r}: registered entry is not callable",
+                )
+                continue
+            doc = inspect.getdoc(factory)
+            if not doc or not doc.strip():
+                yield Finding(
+                    rule=self.id,
+                    path=path,
+                    line=line,
+                    message=(
+                        f"{registry.kind} {name!r}: factory has no docstring; the "
+                        "generated component reference needs its one-line description"
+                    ),
+                )
+        for alias, target in registry.alias_items():
+            if target not in registry.names():
+                yield Finding(
+                    rule=self.id,
+                    path=registry_path,
+                    line=1,
+                    message=f"{registry.kind} alias {alias!r} -> {target!r} does not resolve",
+                )
+
+    # ------------------------------------------------------------------
+    # Spec classes
+    # ------------------------------------------------------------------
+    def _check_spec_class(self, root: Path, dotted_path: str) -> Iterable[Finding]:
+        from repro.serialization import SpecError
+
+        try:
+            cls = load_class(dotted_path)
+        except (ImportError, AttributeError):
+            return  # digest-coverage already reports the broken import
+        path, line = _location(root, cls)
+        for method in ("to_dict", "from_dict"):
+            if not callable(getattr(cls, method, None)):
+                yield Finding(
+                    rule=self.id,
+                    path=path,
+                    line=line,
+                    message=f"serializable class {cls.__name__} lacks {method}()",
+                )
+                return
+        try:
+            cls.from_dict({_PROBE_KEY: None})
+        except SpecError:
+            return  # strict: the unknown key was rejected with the right error
+        except Exception as exc:  # noqa: BLE001 - classifying arbitrary failures
+            yield Finding(
+                rule=self.id,
+                path=path,
+                line=line,
+                message=(
+                    f"{cls.__name__}.from_dict raised {type(exc).__name__} instead of "
+                    "SpecError for an unknown key; strict parsing must name the key "
+                    "and the class"
+                ),
+            )
+            return
+        yield Finding(
+            rule=self.id,
+            path=path,
+            line=line,
+            message=(
+                f"{cls.__name__}.from_dict accepted an unknown key; strict parsing "
+                "(repro.serialization.require_known_keys) is required so stale "
+                "cache entries and typo'd specs fail loudly"
+            ),
+        )

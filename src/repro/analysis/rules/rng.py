@@ -1,0 +1,116 @@
+"""``no-unkeyed-rng``: every random draw goes through ``RandomStreams``.
+
+The determinism contract (PR 3) keys every stream by ``(seed, name,
+keys)`` via :meth:`repro.sim.rng.RandomStreams.stream_for`, which is
+what makes replays bit-identical and per-link sample paths independent
+of registration order, receiver culling and mobility.  A module-level
+``random.random()`` or a privately constructed
+``np.random.default_rng(...)`` bypasses all of that: its draws depend on
+process-global state or on a seed outside the scenario's root seed, so
+two runs of the same config stop being comparable — the exact bug class
+of the ad-hoc ``random`` use in the exemplar simulators.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict
+
+from repro.analysis.base import Checker, ModuleContext, SourceRule, dotted_name, register_rule
+
+#: Dotted call targets that construct or use generators outside the stream
+#: registry.  Matched as suffixes so both ``np.random.default_rng`` and
+#: ``numpy.random.default_rng`` hit.
+_BANNED_CALL_SUFFIXES = (
+    "random.default_rng",
+    "random.Generator",
+    "random.RandomState",
+    "random.seed",
+)
+
+#: Names that, imported from ``numpy.random``, construct generators.
+_BANNED_NUMPY_IMPORTS = {"default_rng", "Generator", "RandomState", "seed"}
+
+
+@register_rule
+class NoUnkeyedRng(SourceRule):
+    """All randomness must derive from the scenario seed via ``RandomStreams``.
+
+    Flags ``import random`` (and ``from random import ...``), calls to
+    ``np.random.default_rng`` / ``Generator`` / ``RandomState`` /
+    ``np.random.seed``, and ``from numpy.random import default_rng``-style
+    imports anywhere in ``src/repro`` outside ``sim/rng.py`` (the one
+    module whose business is constructing generators).  Route draws
+    through ``RandomStreams.stream_for(name, *keys)`` instead, or pragma
+    a genuinely seed-scoped exception (e.g. a topology layout generated
+    from its own ``seed`` parameter) with the justification inline.
+    """
+
+    id = "no-unkeyed-rng"
+    title = "ad-hoc RNG construction bypasses the keyed stream registry"
+    allow_modules = ("repro/sim/rng.py",)
+
+    def checker(self, ctx: ModuleContext) -> "_RngChecker":
+        return _RngChecker(self, ctx)
+
+
+class _RngChecker(Checker):
+    def handlers(self) -> Dict[type, Callable[[ast.AST], None]]:
+        return {
+            ast.Import: self._import,
+            ast.ImportFrom: self._import_from,
+            ast.Call: self._call,
+        }
+
+    def _import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "random" or alias.name.startswith("random."):
+                self.emit(
+                    node,
+                    "stdlib 'random' is process-global state; draw from "
+                    "RandomStreams.stream_for(name, *keys) instead",
+                )
+
+    def _import_from(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            self.emit(
+                node,
+                "stdlib 'random' is process-global state; draw from "
+                "RandomStreams.stream_for(name, *keys) instead",
+            )
+        elif node.module in ("numpy.random", "np.random"):
+            banned = sorted(
+                alias.name for alias in node.names if alias.name in _BANNED_NUMPY_IMPORTS
+            )
+            if banned:
+                self.emit(
+                    node,
+                    f"importing {', '.join(banned)} from numpy.random constructs "
+                    "unkeyed generators; use RandomStreams.stream_for instead",
+                )
+
+    def _call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if not name:
+            return
+        if any(name == suffix or name.endswith("." + suffix) for suffix in _BANNED_CALL_SUFFIXES):
+            self.emit(
+                node,
+                f"{name}(...) constructs a generator outside the keyed stream "
+                "registry; use RandomStreams.stream_for(name, *keys) so draws "
+                "depend only on (seed, name, keys)",
+            )
+        elif name.startswith(("np.random.", "numpy.random.")):
+            # The legacy module-level numpy API (np.random.normal, ...)
+            # draws from one process-global generator.
+            self.emit(
+                node,
+                f"{name}(...) draws from numpy's process-global generator; "
+                "draw from RandomStreams.stream_for(name, *keys) instead",
+            )
+        elif name.startswith("random."):
+            self.emit(
+                node,
+                f"{name}(...) uses the process-global stdlib RNG; draw from "
+                "RandomStreams.stream_for(name, *keys) instead",
+            )

@@ -1,0 +1,173 @@
+"""``no-unordered-set-iteration``: hot paths never iterate raw sets.
+
+CPython iterates a set in hash order, and for strings that order is
+salted per process (``PYTHONHASHSEED``) — so a ``for x in some_set`` in
+the event loop, PHY dispatch, MAC or routing layers can reorder
+callbacks, draws or route choices between two runs of the *same seed*.
+Membership tests are fine; it is only *iteration order* that leaks
+nondeterminism.  Iterate ``sorted(the_set)`` (or keep a list/dict, both
+insertion-ordered) on any path that feeds the event loop.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, Set
+
+from repro.analysis.base import Checker, ModuleContext, SourceRule, register_rule
+
+#: Set-returning methods: iterating their result is hash-ordered too.
+_SET_METHODS = {"union", "intersection", "difference", "symmetric_difference", "copy"}
+
+#: Calls through which a set's unordered iteration escapes into an
+#: order-sensitive sequence.
+_ORDER_SENSITIVE_WRAPPERS = {"list", "tuple", "enumerate", "iter"}
+
+#: Annotation names marking a variable as a set.
+_SET_ANNOTATIONS = {"set", "Set", "frozenset", "FrozenSet", "MutableSet"}
+
+
+def _is_set_display(node: ast.AST) -> bool:
+    """Whether ``node`` is syntactically a set right where it stands."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in _SET_METHODS:
+            # ``x.union(y)`` only returns a set when x is one; restrict to
+            # receivers we can see are sets to avoid flagging e.g. an
+            # unrelated object's ``.copy()``.
+            return _is_set_display(func.value)
+    return False
+
+
+def _annotation_is_set(annotation: ast.AST) -> bool:
+    if isinstance(annotation, ast.Name):
+        return annotation.id in _SET_ANNOTATIONS
+    if isinstance(annotation, ast.Subscript):
+        return _annotation_is_set(annotation.value)
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr in _SET_ANNOTATIONS
+    return False
+
+
+@register_rule
+class NoUnorderedSetIteration(SourceRule):
+    """Hot-path modules must not iterate sets in hash order.
+
+    Scoped to ``sim/``, ``phy/``, ``mac/`` and ``routing/`` — the code
+    that runs inside the event loop.  Flags ``for``/comprehension
+    iteration (and ``list()``/``tuple()``/``enumerate()``/``iter()``
+    materialisation) over set displays, ``set()``/``frozenset()`` calls,
+    set-returning methods, and names the module itself binds or
+    annotates as sets.  String hash order is salted per process, so such
+    iteration makes same-seed runs diverge.  Wrap the set in
+    ``sorted(...)`` or keep an insertion-ordered container instead.
+    """
+
+    id = "no-unordered-set-iteration"
+    title = "set iteration order is nondeterministic on the hot path"
+    include = ("repro/sim/*", "repro/phy/*", "repro/mac/*", "repro/routing/*")
+
+    def checker(self, ctx: ModuleContext) -> "_SetIterChecker":
+        return _SetIterChecker(self, ctx)
+
+
+class _SetIterChecker(Checker):
+    def __init__(self, rule: SourceRule, ctx: ModuleContext) -> None:
+        super().__init__(rule, ctx)
+        #: Names (and ``self.x`` attributes, keyed as ``"self.x"``) the
+        #: module binds to set expressions — a deliberately simple, local
+        #: inference: one contrary (non-set) binding removes the name.
+        self._set_names: Set[str] = set()
+        self._collect_bindings(ctx.tree)
+
+    # -- one up-front pass over assignments/annotations ------------------
+    def _collect_bindings(self, tree: ast.Module) -> None:
+        demoted: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    self._note_binding(target, node.value, demoted)
+            elif isinstance(node, ast.AnnAssign):
+                name = self._target_name(node.target)
+                if name is None:
+                    continue
+                if _annotation_is_set(node.annotation):
+                    self._set_names.add(name)
+                elif node.value is not None:
+                    self._note_binding(node.target, node.value, demoted)
+            elif isinstance(node, ast.AugAssign):
+                name = self._target_name(node.target)
+                if name is not None and not isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.Sub)):
+                    demoted.add(name)
+        self._set_names -= demoted
+
+    def _note_binding(self, target: ast.AST, value: ast.AST, demoted: Set[str]) -> None:
+        name = self._target_name(target)
+        if name is None:
+            return
+        if _is_set_display(value):
+            self._set_names.add(name)
+        else:
+            demoted.add(name)
+
+    @staticmethod
+    def _target_name(target: ast.AST) -> "str | None":
+        if isinstance(target, ast.Name):
+            return target.id
+        if isinstance(target, ast.Attribute) and isinstance(target.value, ast.Name):
+            if target.value.id == "self":
+                return f"self.{target.attr}"
+        return None
+
+    # -- shared-walk handlers --------------------------------------------
+    def handlers(self) -> Dict[type, Callable[[ast.AST], None]]:
+        return {
+            ast.For: self._for,
+            ast.comprehension: self._comprehension,
+            ast.Call: self._call,
+        }
+
+    def _is_set_expr(self, node: ast.AST) -> bool:
+        if _is_set_display(node):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self._set_names
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            if node.value.id == "self":
+                return f"self.{node.attr}" in self._set_names
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in _SET_METHODS:
+                return self._is_set_expr(func.value)
+        if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.Sub)):
+            return self._is_set_expr(node.left) or self._is_set_expr(node.right)
+        return False
+
+    def _flag(self, node: ast.AST, how: str) -> None:
+        self.emit(
+            node,
+            f"{how} iterates a set in (per-process salted) hash order on the "
+            "hot path; iterate sorted(...) or an insertion-ordered container",
+        )
+
+    def _for(self, node: ast.For) -> None:
+        if self._is_set_expr(node.iter):
+            self._flag(node, "for loop")
+
+    def _comprehension(self, node: ast.comprehension) -> None:
+        if self._is_set_expr(node.iter):
+            self._flag(node.iter, "comprehension")
+
+    def _call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Name)
+            and func.id in _ORDER_SENSITIVE_WRAPPERS
+            and node.args
+            and self._is_set_expr(node.args[0])
+        ):
+            self._flag(node, f"{func.id}(...)")

@@ -1,0 +1,108 @@
+"""``no-wall-clock``: simulated time never reads the host clock.
+
+The engine's clock (:attr:`repro.sim.engine.Simulator.now`) is the only
+notion of time the simulation may observe.  A ``time.time()`` /
+``datetime.now()`` / ``perf_counter()`` call inside the simulation or
+serialization path leaks the host's wall clock into behaviour or into
+cache payloads, which breaks bit-identical replays (two runs of the same
+seed diverge) and cache-soundness (identical configs hash differently).
+Benchmark timing is the one legitimate consumer and is allowlisted.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict
+
+from repro.analysis.base import Checker, ModuleContext, SourceRule, dotted_name, register_rule
+
+#: Dotted attribute chains that read the host clock.  Matched on the
+#: attribute *reference* (not just calls) so ``clock = time.perf_counter``
+#: aliasing is caught too.
+_BANNED_ATTRIBUTES = (
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+)
+
+#: ``datetime``/``date`` constructors of "now"; matched as the final
+#: attribute with a datetime-ish chain (``datetime.now``,
+#: ``datetime.datetime.utcnow``, ``date.today``).
+_BANNED_NOW_TAILS = {"now", "utcnow", "today"}
+
+#: Names that, imported from ``time``/``datetime``, read the host clock.
+_BANNED_TIME_IMPORTS = {
+    "time",
+    "time_ns",
+    "monotonic",
+    "monotonic_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "process_time",
+    "process_time_ns",
+}
+
+
+@register_rule
+class NoWallClock(SourceRule):
+    """Host-clock reads are banned outside the benchmark/timing modules.
+
+    Flags references to ``time.time``/``monotonic``/``perf_counter`` (and
+    their ``_ns`` variants), ``datetime.now``/``utcnow``/``date.today``,
+    and ``from time import perf_counter``-style imports anywhere in
+    ``src/repro`` except ``experiments/bench.py`` and the sweep runner
+    (``experiments/parallel.py``), whose job is measuring wall time.
+    Simulation code must derive every timestamp from ``Simulator.now``.
+    """
+
+    id = "no-wall-clock"
+    title = "host-clock read inside the simulation/serialization path"
+    allow_modules = ("repro/experiments/bench.py", "repro/experiments/parallel.py")
+
+    def checker(self, ctx: ModuleContext) -> "_WallClockChecker":
+        return _WallClockChecker(self, ctx)
+
+
+class _WallClockChecker(Checker):
+    def handlers(self) -> Dict[type, Callable[[ast.AST], None]]:
+        return {ast.Attribute: self._attribute, ast.ImportFrom: self._import_from}
+
+    def _attribute(self, node: ast.Attribute) -> None:
+        name = dotted_name(node)
+        if not name:
+            return
+        if any(name == banned or name.endswith("." + banned) for banned in _BANNED_ATTRIBUTES):
+            self.emit(
+                node,
+                f"{name} reads the host clock; simulation code must use "
+                "Simulator.now (wall-clock timing belongs in repro.experiments.bench)",
+            )
+            return
+        head, _, tail = name.rpartition(".")
+        if tail in _BANNED_NOW_TAILS and ("datetime" in head.split(".") or "date" in head.split(".")):
+            self.emit(
+                node,
+                f"{name} reads the host clock; simulation code must use "
+                "Simulator.now (wall-clock timing belongs in repro.experiments.bench)",
+            )
+
+    def _import_from(self, node: ast.ImportFrom) -> None:
+        if node.module == "time":
+            banned = sorted(
+                alias.name for alias in node.names if alias.name in _BANNED_TIME_IMPORTS
+            )
+            if banned:
+                self.emit(
+                    node,
+                    f"importing {', '.join(banned)} from time makes host-clock "
+                    "reads ambient; simulation code must use Simulator.now",
+                )
+        elif node.module == "datetime":
+            # ``from datetime import datetime`` is fine by itself; the
+            # attribute handler catches ``datetime.now`` at the use site.
+            return

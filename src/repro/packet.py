@@ -14,9 +14,13 @@ from typing import Any, Optional
 _packet_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One upper-layer packet.
+
+    ``slots=True``: packets are allocated per transport segment and
+    travel through every layer, so they stay ``__dict__``-free like the
+    other hot-path records (``Event``, ``Reception``, ``Transmission``).
 
     Attributes
     ----------

@@ -110,7 +110,7 @@ class Transmission:
         return self.start_time + self.duration_ns
 
 
-@dataclass
+@dataclass(slots=True)
 class ChannelStats:
     """Medium-wide counters used by experiments and tests."""
 
@@ -120,6 +120,21 @@ class ChannelStats:
 
 class WirelessChannel:
     """Shared wireless medium connecting every radio in the scenario."""
+
+    __slots__ = (
+        "sim",
+        "params",
+        "propagation",
+        "error_model",
+        "rng",
+        "model_propagation_delay",
+        "stats",
+        "_radios",
+        "_ids",
+        "_distance_cache",
+        "_candidates",
+        "_link_fades",
+    )
 
     #: Hard cap on cached per-pair distances; reached only by scenarios with
     #: thousands of stations, where a rare full drop is cheaper than growth.

@@ -53,7 +53,7 @@ class Reception:
     interfered: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class RadioStats:
     """Per-radio PHY counters used by tests and the experiment reports."""
 
@@ -66,6 +66,18 @@ class RadioStats:
 
 class Radio:
     """A station's half-duplex transceiver."""
+
+    __slots__ = (
+        "node_id",
+        "channel",
+        "_position",
+        "mac",
+        "stats",
+        "_tx_until",
+        "_current_tx",
+        "_receptions",
+        "_idle_since",
+    )
 
     def __init__(self, node_id: int, position: tuple[float, float], channel: "WirelessChannel") -> None:
         self.node_id = node_id

@@ -108,6 +108,8 @@ class Simulator:
     are executed in FIFO order before the clock moves on.
     """
 
+    __slots__ = ("_now", "_heap", "_seq", "_running", "_processed", "_cancelled_pending")
+
     #: Minimum heap size before lazy-cancellation compaction kicks in; below
     #: this the scan costs more than the memory it reclaims.
     COMPACT_MIN_HEAP = 64

@@ -45,6 +45,12 @@ _BRIDGE_NODES: List[Tuple[float, float]] = [(210.0, 360.0), (470.0, 330.0), (820
 
 def roofnet_topology(seed: int = 7) -> TopologySpec:
     """Generate the synthetic Roofnet-like layout (38 nodes, ~1.5 km x 1 km)."""
+    # Layout generation draws only from this function's own ``seed`` parameter,
+    # which is part of the topology's identity (the generated positions are what
+    # the sweep cache hashes).  Routing it through a scenario's RandomStreams
+    # would change every committed Roofnet layout and couple the placement to
+    # the *simulation* seed, which must stay free to vary per replication.
+    # repro: allow[no-unkeyed-rng] seed-scoped layout generation, not simulation randomness
     rng = np.random.default_rng(seed)
     positions: Dict[int, Tuple[float, float]] = {}
     node_id = 0

@@ -1,0 +1,9 @@
+# fixture-module: repro/traffic/fixture.py
+"""Bad: privately constructed generator bypasses the stream registry."""
+
+import numpy as np
+
+
+def jitter(seed):
+    rng = np.random.default_rng(seed)
+    return rng.normal()

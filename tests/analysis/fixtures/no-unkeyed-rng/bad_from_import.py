@@ -1,0 +1,8 @@
+# fixture-module: repro/mobility/fixture.py
+"""Bad: importing the constructor does not make the generator keyed."""
+
+from numpy.random import default_rng
+
+
+def make(seed):
+    return default_rng(seed)

@@ -1,0 +1,8 @@
+# fixture-module: repro/phy/fixture.py
+"""Bad: the legacy module-level numpy API draws from a global generator."""
+
+import numpy as np
+
+
+def fade_db():
+    return np.random.normal(0.0, 4.0)

@@ -1,0 +1,8 @@
+# fixture-module: repro/mac/fixture.py
+"""Bad: stdlib ``random`` is process-global state (two findings)."""
+
+import random
+
+
+def backoff():
+    return random.randint(0, 31)

@@ -1,0 +1,9 @@
+# fixture-module: repro/topology/fixture.py
+"""Good: a justified seed-scoped exception is suppressed inline."""
+
+import numpy as np
+
+
+def layout(seed):
+    rng = np.random.default_rng(seed)  # repro: allow[no-unkeyed-rng] seed-scoped layout generation
+    return rng.normal(size=4)

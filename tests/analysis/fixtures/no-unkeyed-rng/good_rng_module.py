@@ -1,0 +1,9 @@
+# fixture-module: repro/sim/rng.py
+"""Good: ``sim/rng.py`` is the allowlisted home of generator construction."""
+
+import numpy as np
+
+
+def build(seed, spawn_key):
+    sequence = np.random.SeedSequence(entropy=seed, spawn_key=spawn_key)
+    return np.random.default_rng(sequence)

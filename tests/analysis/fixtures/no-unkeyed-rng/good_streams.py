@@ -1,0 +1,6 @@
+# fixture-module: repro/traffic/fixture.py
+"""Good: draws flow through the keyed stream registry."""
+
+
+def jitter(streams, flow_id):
+    return streams.stream_for("traffic.jitter", flow_id).normal()

@@ -1,0 +1,10 @@
+# fixture-module: repro/mac/fixture.py
+"""Bad: a locally annotated set variable is iterated later."""
+
+
+def flush(queue):
+    pending: set = set()
+    for item in queue:
+        pending.add(item)
+    for item in pending:
+        item.send()

@@ -1,0 +1,10 @@
+# fixture-module: repro/sim/fixture.py
+"""Bad: comprehension over a set union."""
+
+
+def merge(a, b):
+    return [x.key for x in a | b]
+
+
+a = frozenset()
+b = frozenset()

@@ -1,0 +1,7 @@
+# fixture-module: repro/phy/fixture.py
+"""Bad: iterating ``set(...)`` directly."""
+
+
+def notify(radios):
+    for radio in set(radios):
+        radio.wake()

@@ -1,0 +1,7 @@
+# fixture-module: repro/sim/fixture.py
+"""Bad: iterating a set display has hash-seed-dependent order."""
+
+
+def drain(handlers):
+    for name in {"a", "b", "c"}:
+        handlers[name]()

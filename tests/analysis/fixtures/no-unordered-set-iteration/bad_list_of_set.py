@@ -1,0 +1,6 @@
+# fixture-module: repro/phy/fixture.py
+"""Bad: ``list(set(...))`` materializes an unordered sequence."""
+
+
+def dedupe(ids):
+    return list(set(ids))

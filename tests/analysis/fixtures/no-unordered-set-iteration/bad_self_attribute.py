@@ -1,0 +1,11 @@
+# fixture-module: repro/routing/fixture.py
+"""Bad: a set-valued instance attribute is iterated."""
+
+
+class Table:
+    def __init__(self):
+        self.neighbors = set()
+
+    def advertise(self):
+        for node in self.neighbors:
+            node.receive(self)

@@ -1,0 +1,7 @@
+# fixture-module: repro/mac/fixture.py
+"""Good: membership tests on sets are order-free and fine."""
+
+
+def filter_known(items, known):
+    seen = set(known)
+    return [item for item in items if item in seen]

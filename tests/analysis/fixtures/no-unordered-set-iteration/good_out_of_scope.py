@@ -1,0 +1,6 @@
+# fixture-module: repro/experiments/fixture.py
+"""Good (by scope): the rule only covers sim/, phy/, mac/ and routing/."""
+
+
+def summarize(tags):
+    return [t for t in set(tags)]

@@ -1,0 +1,7 @@
+# fixture-module: repro/sim/fixture.py
+"""Good: sorting before iteration restores deterministic order."""
+
+
+def drain(handlers, names):
+    for name in sorted(set(names)):
+        handlers[name]()

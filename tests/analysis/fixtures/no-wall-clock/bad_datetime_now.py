@@ -1,0 +1,8 @@
+# fixture-module: repro/experiments/fixture.py
+"""Bad: wall-clock timestamps leak into results outside the bench module."""
+
+from datetime import datetime, timezone
+
+
+def generated_at():
+    return datetime.now(timezone.utc).isoformat()

@@ -1,0 +1,8 @@
+# fixture-module: repro/mac/fixture.py
+"""Bad: importing the clock reader makes wall-clock reads ambient."""
+
+from time import perf_counter
+
+
+def now_s():
+    return perf_counter()

@@ -1,0 +1,10 @@
+# fixture-module: repro/routing/fixture.py
+"""Bad: aliasing the clock function is still a host-clock dependency."""
+
+import time
+
+clock = time.perf_counter
+
+
+def elapsed(start):
+    return clock() - start

@@ -1,0 +1,8 @@
+# fixture-module: repro/sim/fixture.py
+"""Bad: host-clock read inside simulation code."""
+
+import time
+
+
+def stamp(event):
+    event.created_at = time.time()

@@ -1,0 +1,10 @@
+# fixture-module: repro/experiments/bench.py
+"""Good: the benchmark module's whole business is wall-clock timing."""
+
+import time
+
+
+def measure(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start

@@ -1,0 +1,6 @@
+# fixture-module: repro/mac/fixture.py
+"""Good: simulated time comes from the engine's clock."""
+
+
+def stamp(sim, packet):
+    packet.created_ns = sim.now

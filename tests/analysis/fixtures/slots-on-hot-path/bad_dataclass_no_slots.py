@@ -1,0 +1,10 @@
+# fixture-module: repro/sim/engine.py
+"""Bad: a dataclass without ``slots=True`` still carries ``__dict__``."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Event:
+    time_ns: int
+    callback: object

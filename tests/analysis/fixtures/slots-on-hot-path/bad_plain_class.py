@@ -1,0 +1,8 @@
+# fixture-module: repro/packet.py
+"""Bad: a plain class on the hot path pays the per-instance dict."""
+
+
+class Frame:
+    def __init__(self, src, dst):
+        self.src = src
+        self.dst = dst

@@ -1,0 +1,10 @@
+# fixture-module: repro/phy/channel.py
+"""Good: ``@dataclass(slots=True)`` generates ``__slots__``."""
+
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class LinkState:
+    loss_db: float
+    fade_db: float

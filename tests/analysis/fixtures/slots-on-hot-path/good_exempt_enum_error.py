@@ -1,0 +1,13 @@
+# fixture-module: repro/sim/engine.py
+"""Good: enums and exception types are exempt from the slots requirement."""
+
+import enum
+
+
+class Phase(enum.Enum):
+    IDLE = 0
+    BUSY = 1
+
+
+class ScheduleError(Exception):
+    pass

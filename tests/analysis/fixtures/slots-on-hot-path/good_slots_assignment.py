@@ -1,0 +1,10 @@
+# fixture-module: repro/phy/radio.py
+"""Good: explicit ``__slots__`` declaration."""
+
+
+class Reception:
+    __slots__ = ("packet", "power_dbm")
+
+    def __init__(self, packet, power_dbm):
+        self.packet = packet
+        self.power_dbm = power_dbm

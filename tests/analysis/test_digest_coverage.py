@@ -1,0 +1,116 @@
+"""digest-coverage: the rule provably fails on an uncovered field.
+
+The acceptance bar for this rule is demonstrated on scratch dataclasses:
+a field missing from ``to_dict`` *must* surface, because in production
+that is a silent sweep-cache collision (two configs, one digest).
+"""
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.analysis.rules.digest import (
+    DIGEST_CLASSES,
+    load_class,
+    uncovered_fields,
+)
+
+
+@dataclass
+class Covered:
+    alpha: int = 1
+    beta: str = "x"
+
+    def to_dict(self):
+        return {"alpha": self.alpha, "beta": self.beta}
+
+
+@dataclass
+class MissingField:
+    alpha: int = 1
+    forgotten: float = 0.0
+
+    def to_dict(self):
+        return {"alpha": self.alpha}
+
+
+@dataclass
+class SubscriptStores:
+    alpha: int = 1
+    maybe: str = ""
+
+    def to_dict(self):
+        data = {"alpha": self.alpha}
+        if self.maybe:
+            data["maybe"] = self.maybe
+        return data
+
+
+@dataclass
+class BlanketAsdict:
+    alpha: int = 1
+    beta: str = "x"
+
+    def to_dict(self):
+        import dataclasses
+
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class PrivateField:
+    alpha: int = 1
+    _scratch: dict = field(default_factory=dict)
+
+    def to_dict(self):
+        return {"alpha": self.alpha}
+
+
+class NotADataclass:
+    def to_dict(self):
+        return {}
+
+
+@dataclass
+class NoToDict:
+    alpha: int = 1
+
+
+def test_fully_covered_class_is_clean():
+    assert uncovered_fields(Covered) == []
+
+
+def test_missing_field_is_detected():
+    assert uncovered_fields(MissingField) == ["forgotten"]
+
+
+def test_conditional_subscript_store_counts_as_covered():
+    assert uncovered_fields(SubscriptStores) == []
+
+
+def test_blanket_asdict_covers_everything():
+    assert uncovered_fields(BlanketAsdict) == []
+
+
+def test_private_fields_are_exempt():
+    assert uncovered_fields(PrivateField) == []
+
+
+def test_non_dataclass_raises():
+    with pytest.raises(TypeError):
+        uncovered_fields(NotADataclass)
+
+
+def test_missing_to_dict_raises():
+    with pytest.raises(AttributeError):
+        uncovered_fields(NoToDict)
+
+
+@pytest.mark.parametrize("dotted_path", DIGEST_CLASSES)
+def test_registered_digest_class_is_fully_covered(dotted_path):
+    """Every class the sweep cache hashes serializes all of its fields."""
+    cls = load_class(dotted_path)
+    assert uncovered_fields(cls) == [], (
+        f"{dotted_path} has fields missing from to_dict(); fix the "
+        "serialization and bump CACHE_SCHEMA_VERSION"
+    )

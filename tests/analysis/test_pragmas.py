@@ -1,0 +1,102 @@
+"""Suppression-pragma semantics: targeting, validation, unsuppressibility."""
+
+import textwrap
+
+from repro.analysis import PRAGMA_RULE_ID, PragmaIndex, analyze_source
+
+KNOWN = {"no-unkeyed-rng", "no-wall-clock"}
+
+
+def _index(source, known=KNOWN):
+    return PragmaIndex("src/repro/fixture.py", textwrap.dedent(source), known_rules=known)
+
+
+def test_same_line_pragma_suppresses():
+    idx = _index(
+        """\
+        import time
+
+        start = time.time()  # repro: allow[no-wall-clock] profiling hook
+        """
+    )
+    assert idx.suppresses("no-wall-clock", 3)
+    assert not idx.suppresses("no-wall-clock", 1)
+    assert idx.errors() == []
+
+
+def test_comment_line_above_targets_next_line():
+    idx = _index(
+        """\
+        import time
+
+        # repro: allow[no-wall-clock] profiling hook
+        start = time.time()
+        """
+    )
+    assert idx.suppresses("no-wall-clock", 4)
+    assert not idx.suppresses("no-wall-clock", 3)
+
+
+def test_pragma_only_suppresses_named_rule():
+    idx = _index(
+        """\
+        x = 1  # repro: allow[no-wall-clock] reason here
+        """
+    )
+    assert not idx.suppresses("no-unkeyed-rng", 1)
+
+
+def test_docstring_mentions_are_not_pragmas():
+    idx = _index(
+        '''\
+        """Docs showing the syntax: # repro: allow[no-wall-clock] reason."""
+        text = "# repro: allow[no-unkeyed-rng] inside a string"
+        '''
+    )
+    assert not idx.suppresses("no-wall-clock", 1)
+    assert not idx.suppresses("no-unkeyed-rng", 2)
+    assert idx.errors() == []
+
+
+def test_missing_reason_is_an_error():
+    idx = _index("x = 1  # repro: allow[no-wall-clock]\n")
+    errors = idx.errors()
+    assert len(errors) == 1
+    assert errors[0].rule == PRAGMA_RULE_ID
+    assert "reason" in errors[0].message
+    assert not idx.suppresses("no-wall-clock", 1)
+
+
+def test_unknown_rule_id_is_an_error():
+    idx = _index("x = 1  # repro: allow[no-such-rule] because\n")
+    errors = idx.errors()
+    assert len(errors) == 1
+    assert "no-such-rule" in errors[0].message
+
+
+def test_malformed_repro_comment_is_an_error():
+    idx = _index("x = 1  # repro: allwo[no-wall-clock] typo\n")
+    errors = idx.errors()
+    assert len(errors) == 1
+    assert errors[0].rule == PRAGMA_RULE_ID
+
+
+def test_pragma_rule_cannot_be_suppressed():
+    # "pragma" is not a registered rule id, so trying to allow it is
+    # itself a pragma error — the meta-rule cannot be silenced.
+    findings = analyze_source("x = 1  # repro: allow[pragma] trying to hide\n")
+    assert len(findings) == 1
+    assert findings[0].rule == PRAGMA_RULE_ID
+
+
+def test_full_pass_reports_pragma_errors():
+    findings = analyze_source("x = 1  # repro: allow[nope]\n")
+    assert findings
+    assert {f.rule for f in findings} == {PRAGMA_RULE_ID}
+
+
+def test_rule_filtered_pass_skips_pragma_validation():
+    findings = analyze_source(
+        "x = 1  # repro: allow[nope]\n", rule_ids=["no-wall-clock"]
+    )
+    assert findings == []

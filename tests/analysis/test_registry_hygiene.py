@@ -1,0 +1,123 @@
+"""registry-hygiene: live-registry checks catch real rot, pass on the tree."""
+
+import sys
+import types
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.base import ProjectContext
+from repro.analysis.driver import iter_modules, repo_root
+from repro.analysis.rules.registries import RegistryHygiene
+from repro.registry import Registry
+
+
+def _ctx():
+    root = repo_root()
+    return ProjectContext(root=root, modules=tuple(iter_modules(root)))
+
+
+def _run(monkeypatch, registries=None, digest_classes=None):
+    rule = RegistryHygiene()
+    if registries is not None:
+        monkeypatch.setattr(
+            "repro.analysis.rules.registries.COMPONENT_REGISTRIES", registries
+        )
+    else:
+        monkeypatch.setattr("repro.analysis.rules.registries.COMPONENT_REGISTRIES", ())
+    monkeypatch.setattr(
+        "repro.analysis.rules.registries.DIGEST_CLASSES",
+        digest_classes if digest_classes is not None else (),
+    )
+    return list(rule.check_project(_ctx()))
+
+
+@pytest.fixture
+def fake_module(monkeypatch):
+    """A throwaway module holding a registry the rule can be pointed at."""
+    module = types.ModuleType("repro_analysis_fake")
+    module.REGISTRY = Registry("fake component")
+    monkeypatch.setitem(sys.modules, "repro_analysis_fake", module)
+    return module
+
+
+def test_real_tree_has_no_hygiene_findings():
+    findings = list(RegistryHygiene().check_project(_ctx()))
+    assert findings == [], [f.render() for f in findings]
+
+
+def test_undocumented_factory_is_flagged(monkeypatch, fake_module):
+    def documented():
+        """A perfectly documented component."""
+
+    def undocumented():
+        pass
+
+    fake_module.REGISTRY.add("good", documented)
+    fake_module.REGISTRY.add("bare", undocumented)
+    findings = _run(
+        monkeypatch, registries=(("repro_analysis_fake", "REGISTRY"),)
+    )
+    assert len(findings) == 1
+    assert "'bare'" in findings[0].message
+    assert "docstring" in findings[0].message
+
+
+def test_missing_registry_attribute_is_flagged(monkeypatch):
+    findings = _run(monkeypatch, registries=(("repro.registry", "NO_SUCH"),))
+    assert len(findings) == 1
+    assert "does not import" in findings[0].message
+
+
+@dataclass
+class _LaxSpec:
+    alpha: int = 1
+
+    def to_dict(self):
+        return {"alpha": self.alpha}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(alpha=data.get("alpha", 1))  # swallows unknown keys
+
+
+@dataclass
+class _NoFromDict:
+    alpha: int = 1
+
+    def to_dict(self):
+        return {"alpha": self.alpha}
+
+
+def test_lax_from_dict_is_flagged(monkeypatch):
+    module = types.ModuleType("repro_analysis_fake_spec")
+    module.LaxSpec = _LaxSpec
+    monkeypatch.setitem(sys.modules, "repro_analysis_fake_spec", module)
+    findings = _run(
+        monkeypatch, digest_classes=("repro_analysis_fake_spec.LaxSpec",)
+    )
+    assert len(findings) == 1
+    assert "accepted an unknown key" in findings[0].message
+
+
+def test_missing_from_dict_is_flagged(monkeypatch):
+    module = types.ModuleType("repro_analysis_fake_spec")
+    module.NoFromDict = _NoFromDict
+    monkeypatch.setitem(sys.modules, "repro_analysis_fake_spec", module)
+    findings = _run(
+        monkeypatch, digest_classes=("repro_analysis_fake_spec.NoFromDict",)
+    )
+    assert len(findings) == 1
+    assert "lacks from_dict()" in findings[0].message
+
+
+def test_real_spec_classes_reject_unknown_keys():
+    """The strictness probe passes on every registered spec class."""
+    from repro.analysis.rules.digest import DIGEST_CLASSES, load_class
+    from repro.serialization import SpecError
+
+    for dotted_path in DIGEST_CLASSES:
+        cls = load_class(dotted_path)
+        with pytest.raises(SpecError):
+            cls.from_dict({"__repro_analysis_probe__": None})
