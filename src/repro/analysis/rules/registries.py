@@ -30,6 +30,15 @@ COMPONENT_REGISTRIES: Tuple[Tuple[str, str], ...] = (
     ("repro.phy.registry", "PROPAGATION_MODELS"),
 )
 
+#: Serialized wire classes outside the digest path that must still parse
+#: strictly: the service's durable job records and HTTP request bodies.
+#: A lax ``from_dict`` here lets a corrupted job file or a typo'd request
+#: load as a half-default object instead of failing loudly.
+STRICT_WIRE_CLASSES: Tuple[str, ...] = (
+    "repro.service.store.JobRecord",
+    "repro.service.schemas.SubmitRequest",
+)
+
 #: Key no serializable class can legitimately accept: the strictness probe.
 _PROBE_KEY = "__repro_analysis_probe__"
 
@@ -46,10 +55,12 @@ class RegistryHygiene(ProjectRule):
     Checks, against the live registries: every entry's factory is
     callable and has the docstring the generated reference consumes;
     every alias resolves to a registered name; every prefix entry is
-    callable and documented; and every serializable spec/config class
-    exposes ``to_dict`` plus a *strict* ``from_dict`` (probed with an
-    unknown key, which must raise ``SpecError`` — anything laxer lets a
-    stale or corrupted cache entry load as a half-default config).
+    callable and documented; and every serializable spec/config class —
+    the digest-feeding classes plus the service's wire classes (job
+    records, submit requests) — exposes ``to_dict`` plus a *strict*
+    ``from_dict`` (probed with an unknown key, which must raise
+    ``SpecError`` — anything laxer lets a stale or corrupted cache
+    entry, job file or request body load as a half-default object).
     """
 
     id = "registry-hygiene"
@@ -59,7 +70,7 @@ class RegistryHygiene(ProjectRule):
         findings: List[Finding] = []
         for module_name, attribute in COMPONENT_REGISTRIES:
             findings.extend(self._check_registry(ctx.root, module_name, attribute))
-        for dotted_path in DIGEST_CLASSES:
+        for dotted_path in DIGEST_CLASSES + STRICT_WIRE_CLASSES:
             findings.extend(self._check_spec_class(ctx.root, dotted_path))
         return findings
 

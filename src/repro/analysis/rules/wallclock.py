@@ -6,7 +6,10 @@ notion of time the simulation may observe.  A ``time.time()`` /
 serialization path leaks the host's wall clock into behaviour or into
 cache payloads, which breaks bit-identical replays (two runs of the same
 seed diverge) and cache-soundness (identical configs hash differently).
-Benchmark timing is the one legitimate consumer and is allowlisted.
+Legitimately wall-clocked code is allowlisted *by module*, not by
+pragma: benchmark/sweep timing, and the service layer's single clock
+shim (``repro/service/clock.py``) through which every lease expiry,
+heartbeat and poll deadline is read.
 """
 
 from __future__ import annotations
@@ -56,13 +59,20 @@ class NoWallClock(SourceRule):
     their ``_ns`` variants), ``datetime.now``/``utcnow``/``date.today``,
     and ``from time import perf_counter``-style imports anywhere in
     ``src/repro`` except ``experiments/bench.py`` and the sweep runner
-    (``experiments/parallel.py``), whose job is measuring wall time.
-    Simulation code must derive every timestamp from ``Simulator.now``.
+    (``experiments/parallel.py``), whose job is measuring wall time, and
+    ``service/clock.py`` — the simulation service's one window onto
+    operational time (job leases, heartbeats, retry backoff).  The rest
+    of the service package must route clock reads through that shim, and
+    simulation code must derive every timestamp from ``Simulator.now``.
     """
 
     id = "no-wall-clock"
     title = "host-clock read inside the simulation/serialization path"
-    allow_modules = ("repro/experiments/bench.py", "repro/experiments/parallel.py")
+    allow_modules = (
+        "repro/experiments/bench.py",
+        "repro/experiments/parallel.py",
+        "repro/service/clock.py",
+    )
 
     def checker(self, ctx: ModuleContext) -> "_WallClockChecker":
         return _WallClockChecker(self, ctx)

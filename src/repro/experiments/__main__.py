@@ -26,7 +26,10 @@ no experiment module at all::
 ``phy.max_deviation_sigmas=4``); ``--spec`` takes a JSON file holding one
 :class:`repro.spec.ScenarioSpec` document (or a list of them), and
 ``--set`` assignments override the file.  Spec runs flow through the same
-sweep runner and result cache as the named experiments.
+sweep runner and result cache as the named experiments; add ``--json``
+for a machine-readable ``[{digest, config, result}, ...]`` document on
+stdout (scripts and the service smoke test consume this instead of
+scraping the tables — the cache summary moves to stderr).
 
 Re-render a completed experiment's tables *without* simulating anything
 (errors out if the sweep has not been run yet)::
@@ -485,6 +488,24 @@ def _run_specs(args, runner: SweepRunner) -> int:
             configs.append(seeded)
             labels.append(f"{_describe_spec(spec, seeded)} seed={seeded.seed}")
     results = runner.run(configs)
+    if getattr(args, "json", False):
+        # Machine-readable mode: one document per scenario, carrying the
+        # cache digest alongside the canonical config and result payloads
+        # — what scripts and the service smoke test consume instead of
+        # scraping the human tables.
+        from repro.experiments.parallel import config_digest
+
+        documents = [
+            {
+                "digest": config_digest(config),
+                "config": config.to_dict(),
+                "result": result.to_dict(),
+            }
+            for config, result in zip(configs, results)
+        ]
+        json.dump(documents, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+        return 0
     for label, result in zip(labels, results):
         print(f"=== {label} ===")
         print(_render_spec_result(result))
@@ -555,6 +576,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="declarative scenario assignments, e.g. topology=roofnet mac=ripple "
              "routing=etx traffic=voip topology.seed=3 mac.max_aggregation=8",
     )
+    run.add_argument(
+        "--json",
+        action="store_true",
+        help="with --spec/--set: print [{digest, config, result}, ...] JSON on "
+             "stdout instead of tables (cache summary goes to stderr)",
+    )
     report = sub.add_parser(
         "report",
         help="re-render completed experiments from the cache (never simulates)",
@@ -617,6 +644,10 @@ def main(argv: Optional[list] = None) -> int:
     if spec_mode and args.names:
         print("use either experiment names or --spec/--set, not both", file=sys.stderr)
         return 2
+    if args.command == "run" and args.json and not spec_mode:
+        print("--json needs a --spec/--set scenario run (named experiments "
+              "render figure tables only)", file=sys.stderr)
+        return 2
     if args.command == "run" and not spec_mode and not args.names:
         print("nothing to run: give experiment names or --spec/--set", file=sys.stderr)
         return 2
@@ -644,8 +675,7 @@ def main(argv: Optional[list] = None) -> int:
             print(f"bad scenario spec: {exc}", file=sys.stderr)
             return 2
         if cache is not None:
-            total = cache.hits + cache.misses
-            print(f"cache: {cache.hits}/{total} hits ({cache.misses} simulated) in {cache.root}")
+            _print_cache_summary(cache, sys.stderr if args.json else sys.stdout)
         return status
     for name in names:
         exp = EXPERIMENTS[name]
@@ -664,9 +694,17 @@ def main(argv: Optional[list] = None) -> int:
                 return 3
             print()
     if cache is not None:
-        total = cache.hits + cache.misses
-        print(f"cache: {cache.hits}/{total} hits ({cache.misses} simulated) in {cache.root}")
+        _print_cache_summary(cache, sys.stdout)
     return 0
+
+
+def _print_cache_summary(cache: ResultCache, out) -> None:
+    total = cache.hits + cache.misses
+    suffix = f", {cache.quarantined} corrupt quarantined" if cache.quarantined else ""
+    print(
+        f"cache: {cache.hits}/{total} hits ({cache.misses} simulated{suffix}) in {cache.root}",
+        file=out,
+    )
 
 
 if __name__ == "__main__":

@@ -26,8 +26,11 @@ Cache layout::
         ab3f...e1.json           ScenarioResult.to_dict() of that config
 
 The cache is safe to delete at any time and safe to share between
-processes: entries are written atomically (tmp file + rename) and a
-corrupt/partial entry is treated as a miss.
+processes (or machines on a shared filesystem — the simulation service
+of :mod:`repro.service` uses exactly that): entries are written
+atomically (tmp file + rename), and a corrupt entry is *quarantined* —
+renamed to ``<digest>.json.corrupt`` and counted — so the slot heals on
+the next ``store`` instead of staying a silent permanent miss.
 
 Typical use (see also ``python -m repro.experiments`` and
 ``examples/sweep_parallel.py``)::
@@ -49,7 +52,7 @@ import os
 import tempfile
 from itertools import product
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.experiments.runner import ScenarioConfig, ScenarioResult, run_scenario
 
@@ -98,23 +101,72 @@ class ResultCache:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
 
     def path_for(self, digest: str) -> Path:
         """Location of the cache entry for ``digest`` (two-level fan-out)."""
         return self.root / digest[:2] / f"{digest}.json"
 
-    def load(self, config: ScenarioConfig) -> Optional[ScenarioResult]:
-        """Return the cached result for ``config``, or None on a miss."""
-        path = self.path_for(config_digest(config))
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside so the slot heals on the next store.
+
+        Leaving the bad file in place would turn one torn write into a
+        *permanent* miss (every load fails, every store is skipped as
+        "already simulated" by callers that trust load); renaming it to
+        ``.corrupt`` both frees the slot and preserves the evidence.
+        """
+        try:
+            os.replace(path, path.with_name(path.name + ".corrupt"))
+        except OSError:
+            return  # lost a race with another loader; it quarantined first
+        self.quarantined += 1
+
+    def load_raw(self, digest: str) -> Optional[Dict[str, object]]:
+        """The raw cached payload for ``digest``, or None on a miss.
+
+        This is the digest-addressed read the simulation service's
+        ``GET /results/{digest}`` endpoint serves; an entry that exists
+        but does not decode is quarantined and reported as a miss.
+        """
+        path = self.path_for(digest)
         try:
             with open(path, "r", encoding="utf-8") as handle:
-                data = json.load(handle)
-            result = ScenarioResult.from_dict(data)
-        except (OSError, ValueError, KeyError, TypeError):
+                text = handle.read()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            data = json.loads(text)
+        except ValueError:
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        if not isinstance(data, dict):
+            self._quarantine(path)
             self.misses += 1
             return None
         self.hits += 1
-        return result
+        return data
+
+    def load(self, config: ScenarioConfig) -> Optional[ScenarioResult]:
+        """Return the cached result for ``config``, or None on a miss."""
+        digest = config_digest(config)
+        data = self.load_raw(digest)
+        if data is None:
+            return None
+        try:
+            return ScenarioResult.from_dict(data)
+        except (ValueError, KeyError, TypeError):
+            # Decoded as JSON but not as a result: a stale or mangled
+            # layout under a current digest is corruption all the same.
+            self._quarantine(self.path_for(digest))
+            self.hits -= 1
+            self.misses += 1
+            return None
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/quarantine counters accumulated on this cache object."""
+        return {"hits": self.hits, "misses": self.misses, "quarantined": self.quarantined}
 
     def store(self, config: ScenarioConfig, result: ScenarioResult) -> None:
         """Persist ``result`` under ``config``'s digest (atomic write)."""
@@ -182,17 +234,34 @@ class SweepRunner:
     cache:
         A :class:`ResultCache` for incremental re-runs, or None (default) to
         always simulate.  Hit/miss counts accumulate on the cache object.
+    executor:
+        Pluggable execution backend: a callable taking the cache-miss
+        configs and returning their serialized results
+        (``ScenarioResult.to_dict()`` dicts) in the same order.  None
+        (default) selects the built-in serial / ``multiprocessing``
+        backends according to ``jobs``.  The simulation service plugs in
+        :class:`repro.service.executor.JobStoreExecutor` here to drain
+        the same sweep through a shared job store instead — the run path
+        (cache check, run, store, order restoration) stays this class's
+        either way.
 
-    Results are returned in input order and are independent of ``jobs``:
-    every scenario carries its own seed and builds its own simulator, so a
-    4-way parallel run is bit-identical to a serial one.
+    Results are returned in input order and are independent of ``jobs``
+    and of the executor: every scenario carries its own seed and builds
+    its own simulator, so a 4-way parallel or fully distributed run is
+    bit-identical to a serial one.
     """
 
-    def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None) -> None:
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        executor: Optional[Callable[[List[ScenarioConfig]], List[Dict[str, object]]]] = None,
+    ) -> None:
         if jobs <= 0:
             jobs = os.cpu_count() or 1
         self.jobs = int(jobs)
         self.cache = cache
+        self.executor = executor
 
     def run(self, configs: Sequence[ScenarioConfig]) -> List[ScenarioResult]:
         """Run every config (or fetch it from the cache); preserves order."""
@@ -222,6 +291,8 @@ class SweepRunner:
     # Execution backends
     # ------------------------------------------------------------------
     def _execute(self, configs: List[ScenarioConfig]) -> List[Dict[str, object]]:
+        if self.executor is not None:
+            return self.executor(configs)
         if self.jobs > 1 and len(configs) > 1:
             return self._execute_parallel(configs)
         return [_run_config_to_dict(config) for config in configs]

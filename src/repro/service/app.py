@@ -1,0 +1,260 @@
+"""The HTTP face of the simulation service (stdlib ``http.server`` only).
+
+Endpoints::
+
+    POST /jobs              submit a ScenarioSpec (or a seeds/sweep grid)
+    GET  /jobs/{id}         job status + progress
+    GET  /results/{digest}  cached ScenarioResult payload (canonical JSON)
+    GET  /healthz           liveness + store reachability
+    GET  /metrics           queue depth, lease count, cache hit/miss, jobs/s
+
+Submissions are validated with the repository's strict ``from_dict``
+layer: a malformed body is a structured ``400`` naming the offending
+field, never a traceback.  A queue already holding ``max_queue`` waiting
+jobs answers ``429`` (backpressure) without enqueueing anything.  A
+scenario whose :func:`~repro.experiments.parallel.config_digest` is
+already in the shared cache is born ``done`` — the submit itself is the
+cache hit.
+
+The request-handling core (:class:`SimulationService`) is plain
+functions from parsed input to ``(status, payload)`` pairs, so tests
+drive it without sockets; :class:`ServiceHTTPServer` is the thin
+``ThreadingHTTPServer`` wrapper the CLI serves.
+"""
+
+from __future__ import annotations
+
+import json
+import string
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+
+from repro.serialization import SpecError
+from repro.service import clock
+from repro.service.schemas import SubmitRequest, error_payload, job_payload
+from repro.service.store import JobNotFound, JobStore, JobStoreError
+
+#: Default cap on waiting (queued + leased) jobs before submits get 429.
+DEFAULT_MAX_QUEUE = 256
+
+#: Default bind address of ``python -m repro.service serve``.
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8642
+
+#: Largest accepted request body, a defensive cap (ScenarioSpec documents
+#: are tiny; inline topologies with thousands of nodes still fit easily).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_HEX = set(string.hexdigits.lower())
+
+Response = Tuple[int, Dict[str, object]]
+
+
+class SimulationService:
+    """Framework-free request handlers: parsed input -> (status, payload)."""
+
+    def __init__(
+        self,
+        store: JobStore,
+        cache,
+        *,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+    ) -> None:
+        self.store = store
+        self.cache = cache
+        self.max_queue = int(max_queue)
+        self.started_monotonic_s = clock.monotonic_s()
+        self.jobs_submitted = 0
+        self.requests_rejected = 0
+
+    # ------------------------------------------------------------------
+    # POST /jobs
+    # ------------------------------------------------------------------
+    def submit(self, body: bytes) -> Response:
+        try:
+            document = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            return 400, error_payload("ParseError", f"request body is not valid JSON: {exc}")
+        try:
+            request = SubmitRequest.from_dict(document)
+            specs = request.expand()
+            jobs: List[Tuple[Dict[str, object], str]] = []
+            for spec in specs:
+                config = spec.to_config()
+                jobs.append((config.to_dict(), self._digest(config)))
+        except SpecError as exc:
+            return 400, error_payload("SpecError", str(exc))
+        except (ValueError, KeyError, TypeError, OSError) as exc:
+            # Registry lookups, component parameter validation, trace-file
+            # topology loads — all reachable from user-supplied documents.
+            return 400, error_payload(type(exc).__name__, str(exc))
+
+        cached = [self.cache.load_raw(digest) is not None for _, digest in jobs]
+        fresh = cached.count(False)
+        if fresh and self.store.queue_depth() + fresh > self.max_queue:
+            self.requests_rejected += 1
+            return 429, error_payload(
+                "Backpressure",
+                f"queue holds {self.store.queue_depth()} job(s); admitting {fresh} "
+                f"more would exceed the limit of {self.max_queue} — retry later",
+            )
+
+        records = []
+        for (config_dict, digest), hit in zip(jobs, cached):
+            records.append(
+                self.store.submit(
+                    config_dict,
+                    digest=digest,
+                    state="done" if hit else "queued",
+                    max_attempts=request.max_attempts,
+                )
+            )
+        self.jobs_submitted += len(records)
+        if len(records) == 1:
+            return 202, job_payload(self.store, records[0])
+        group = self.store.submit(
+            None, kind="group", children=[record.job_id for record in records]
+        )
+        payload = job_payload(self.store, group)
+        payload["digests"] = [digest for _, digest in jobs]
+        return 202, payload
+
+    @staticmethod
+    def _digest(config) -> str:
+        from repro.experiments.parallel import config_digest
+
+        return config_digest(config)
+
+    # ------------------------------------------------------------------
+    # GET /jobs/{id}, /results/{digest}
+    # ------------------------------------------------------------------
+    def job_status(self, job_id: str) -> Response:
+        try:
+            record = self.store.get(job_id)
+        except JobNotFound:
+            return 404, error_payload("NotFound", f"no job {job_id!r}")
+        except JobStoreError as exc:
+            return 500, error_payload("StoreError", str(exc))
+        return 200, job_payload(self.store, record)
+
+    def result(self, digest: str) -> Response:
+        if not digest or any(ch not in _HEX for ch in digest.lower()):
+            return 400, error_payload("BadDigest", f"{digest!r} is not a hex digest")
+        data = self.cache.load_raw(digest)
+        if data is None:
+            return 404, error_payload(
+                "NotFound",
+                f"no cached result for digest {digest}; submit its config first",
+            )
+        return 200, data
+
+    # ------------------------------------------------------------------
+    # GET /healthz, /metrics
+    # ------------------------------------------------------------------
+    def healthz(self) -> Response:
+        try:
+            depth = self.store.queue_depth()
+        except OSError as exc:
+            return 500, error_payload("StoreError", f"job store unreachable: {exc}")
+        return 200, {"status": "ok", "store": str(self.store.root), "queue_depth": depth}
+
+    def metrics(self) -> Response:
+        counts = self.store.counts()
+        uptime = max(clock.monotonic_s() - self.started_monotonic_s, 1e-9)
+        return 200, {
+            # Same definition as healthz and the 429 gate: waiting
+            # *scenario* jobs (group parents never occupy a worker).
+            "queue_depth": self.store.queue_depth(),
+            "jobs": {state: counts[state] for state in ("queued", "leased", "done", "failed")},
+            "quarantined": counts["quarantined"],
+            "leases": counts["leases"],
+            "cache": {
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "quarantined": self.cache.quarantined,
+            },
+            "submitted": self.jobs_submitted,
+            "rejected": self.requests_rejected,
+            "uptime_s": uptime,
+            "jobs_per_s": counts["done"] / uptime,
+        }
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def route(self, method: str, path: str, body: bytes = b"") -> Response:
+        """Dispatch one request; the transport-agnostic entry point."""
+        parts = [part for part in path.split("/") if part]
+        if method == "POST" and parts == ["jobs"]:
+            return self.submit(body)
+        if method == "GET" and len(parts) == 2 and parts[0] == "jobs":
+            return self.job_status(parts[1])
+        if method == "GET" and len(parts) == 2 and parts[0] == "results":
+            return self.result(parts[1])
+        if method == "GET" and parts == ["healthz"]:
+            return self.healthz()
+        if method == "GET" and parts == ["metrics"]:
+            return self.metrics()
+        return 404, error_payload("NotFound", f"no route {method} {path}")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin adapter from ``http.server`` to :meth:`SimulationService.route`."""
+
+    server_version = "repro-service/1"
+    protocol_version = "HTTP/1.1"
+
+    def _respond(self, status: int, payload: Dict[str, object]) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _body(self) -> Optional[bytes]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            self._respond(
+                413,
+                error_payload("TooLarge", f"request body exceeds {MAX_BODY_BYTES} bytes"),
+            )
+            return None
+        return self.rfile.read(length) if length else b""
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        body = self._body()
+        if body is None:
+            return
+        status, payload = self.server.service.route("POST", self.path, body)
+        self._respond(status, payload)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        status, payload = self.server.service.route("GET", self.path)
+        self._respond(status, payload)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`SimulationService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address, service: SimulationService, *, verbose: bool = False) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+        self.verbose = verbose
+
+
+def make_server(
+    service: SimulationService,
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    *,
+    verbose: bool = False,
+) -> ServiceHTTPServer:
+    """Bind (but do not start) the service's HTTP server; port 0 = ephemeral."""
+    return ServiceHTTPServer((host, port), service, verbose=verbose)

@@ -1,0 +1,95 @@
+"""Distributed sweep execution: a ``SweepRunner`` executor over the job store.
+
+:class:`~repro.experiments.parallel.SweepRunner` fans cache-miss configs
+out through a pluggable *executor* (its ``executor=`` seam); the default
+is local ``multiprocessing``.  :class:`JobStoreExecutor` is the
+distributed backend: it enqueues every config into a shared
+:class:`~repro.service.store.JobStore` and blocks until the fleet of
+workers draining that store — other processes, other machines — has
+completed them, then returns the result payloads from the shared cache.
+
+Because workers execute jobs through the very same ``SweepRunner`` +
+``ResultCache`` path, a distributed sweep is bit-identical to a local
+one; the only thing that changes is *where* the CPU burn happens::
+
+    store = JobStore("/mnt/shared/repro-service")
+    cache = ResultCache(store.cache_dir)
+    runner = SweepRunner(cache=cache, executor=JobStoreExecutor(store, cache))
+    results = runner.run(expand_grid(base, seed=list(range(1, 65))))
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.service import clock
+from repro.service.queue import WorkQueue
+from repro.service.store import DEFAULT_MAX_ATTEMPTS, JobStore
+
+
+class DistributedSweepError(RuntimeError):
+    """A job failed (or timed out) while draining a distributed sweep."""
+
+
+class JobStoreExecutor:
+    """Executor callable: enqueue configs, await workers, collect results."""
+
+    def __init__(
+        self,
+        store: JobStore,
+        cache,
+        *,
+        poll_s: float = 0.2,
+        timeout_s: Optional[float] = None,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    ) -> None:
+        self.store = store
+        self.cache = cache
+        self.queue = WorkQueue(store)
+        self.poll_s = float(poll_s)
+        self.timeout_s = timeout_s
+        self.max_attempts = int(max_attempts)
+
+    def __call__(self, configs: List) -> List[Dict[str, object]]:
+        from repro.experiments.parallel import config_digest
+
+        digests = [config_digest(config) for config in configs]
+        job_ids = [
+            self.store.submit(
+                config.to_dict(), digest=digest, max_attempts=self.max_attempts
+            ).job_id
+            for config, digest in zip(configs, digests)
+        ]
+        pending = set(job_ids)
+        deadline = None if self.timeout_s is None else clock.monotonic_s() + self.timeout_s
+        while pending:
+            # Anyone may sweep expired leases; doing it from the waiter
+            # means a dead worker cannot stall the sweep forever.
+            self.queue.reclaim_expired()
+            for job_id in sorted(pending):
+                record = self.store.get(job_id)
+                if record.state == "done":
+                    pending.discard(job_id)
+                elif record.state == "failed":
+                    raise DistributedSweepError(
+                        f"job {job_id} failed after {record.attempts} attempt(s): "
+                        f"{record.error}"
+                    )
+            if not pending:
+                break
+            if deadline is not None and clock.monotonic_s() >= deadline:
+                raise DistributedSweepError(
+                    f"{len(pending)} job(s) still pending after {self.timeout_s:g}s; "
+                    "are any workers draining this store?"
+                )
+            clock.sleep_s(self.poll_s)
+        results: List[Dict[str, object]] = []
+        for digest, job_id in zip(digests, job_ids):
+            data = self.cache.load_raw(digest)
+            if data is None:
+                raise DistributedSweepError(
+                    f"job {job_id} is done but digest {digest} is missing from the "
+                    f"shared cache at {self.cache.root} — store and cache must be shared"
+                )
+            results.append(data)
+        return results

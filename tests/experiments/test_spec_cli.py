@@ -168,3 +168,53 @@ class TestRunSpecCli:
         out = capsys.readouterr().out
         assert "component registries" in out
         assert "MAC scheme:" in out and "ripple" in out
+
+
+class TestRunJson:
+    """``run --spec/--set --json``: machine-readable results on stdout."""
+
+    ARGV = [
+        "run", "--json",
+        "--set", "topology=line", "topology.n_hops=2", "duration=0.02",
+    ]
+
+    def test_json_output_carries_digest_config_result(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.experiments.parallel import config_digest
+        from repro.experiments.runner import ScenarioConfig
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(self.ARGV) == 0
+        captured = capsys.readouterr()
+        entries = json.loads(captured.out)
+        assert len(entries) == 1
+        entry = entries[0]
+        assert sorted(entry) == ["config", "digest", "result"]
+        # The digest is the config's real content hash, so service results
+        # addressed by digest line up with this output byte for byte.
+        config = ScenarioConfig.from_dict(entry["config"])
+        assert entry["digest"] == config_digest(config)
+        assert entry["result"]["events_processed"] > 0
+        # Human-facing cache summary moved to stderr; stdout stays pure JSON.
+        assert "hits" in captured.err
+
+    def test_json_run_twice_is_byte_identical(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(self.ARGV) == 0
+        first = capsys.readouterr().out
+        assert main(self.ARGV) == 0  # second run is a pure cache hit
+        assert capsys.readouterr().out == first
+
+    def test_json_with_seeds_emits_one_entry_per_seed(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(self.ARGV + ["--seeds", "2"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert [entry["config"]["seed"] for entry in entries] == [1, 2]
+        assert len({entry["digest"] for entry in entries}) == 2
+
+    def test_json_without_spec_mode_rejected(self, capsys):
+        assert main(["run", "fig3", "--json"]) == 2
+        assert "--json needs" in capsys.readouterr().err

@@ -1,0 +1,74 @@
+"""JobStoreExecutor: SweepRunner's distributed backend over the job store."""
+
+import threading
+
+import pytest
+
+import repro.experiments.parallel as parallel
+from repro.experiments.parallel import SweepRunner, config_digest
+from repro.experiments.runner import run_scenario
+from repro.service.executor import DistributedSweepError, JobStoreExecutor
+from repro.service.queue import WorkQueue
+from repro.service.worker import Worker
+
+
+@pytest.fixture
+def background_worker(store, cache):
+    stop = threading.Event()
+    worker = Worker(
+        store, cache=cache, queue=WorkQueue(store, backoff_base_s=0.0), poll_s=0.02
+    )
+    thread = threading.Thread(
+        target=worker.run_forever, kwargs={"stop_event": stop}, daemon=True
+    )
+    thread.start()
+    yield worker
+    stop.set()
+    thread.join(timeout=30)
+
+
+class TestDistributedSweep:
+    def test_results_identical_to_local_sweep(
+        self, store, cache, background_worker, small_config
+    ):
+        configs = [small_config(seed=seed) for seed in (1, 2)]
+        runner = SweepRunner(
+            cache=cache,
+            executor=JobStoreExecutor(store, cache, poll_s=0.02, timeout_s=120),
+        )
+        results = runner.run(configs)
+        for config, result in zip(configs, results):
+            assert result.to_dict() == run_scenario(config).to_dict()
+        # Every config went through the store as a job and landed done.
+        records = list(store.records())
+        assert len(records) == 2
+        assert {record.digest for record in records} == {
+            config_digest(config) for config in configs
+        }
+        assert all(record.state == "done" for record in records)
+
+    def test_cached_configs_never_reach_the_store(self, store, cache, small_config):
+        config = small_config()
+        cache.store(config, run_scenario(config))
+        runner = SweepRunner(
+            cache=cache, executor=JobStoreExecutor(store, cache, timeout_s=5)
+        )
+        result = runner.run_one(config)
+        assert result.to_dict() == run_scenario(config).to_dict()
+        assert store.job_ids() == []  # the cache hit short-circuited the executor
+
+    def test_failed_job_raises(self, store, cache, background_worker, small_config, monkeypatch):
+        def explode(config):
+            raise RuntimeError("injected crash")
+
+        monkeypatch.setattr(parallel, "_run_config_to_dict", explode)
+        executor = JobStoreExecutor(
+            store, cache, poll_s=0.02, timeout_s=60, max_attempts=1
+        )
+        with pytest.raises(DistributedSweepError, match="injected crash"):
+            executor([small_config()])
+
+    def test_no_workers_times_out(self, store, cache, small_config):
+        executor = JobStoreExecutor(store, cache, poll_s=0.02, timeout_s=0.2)
+        with pytest.raises(DistributedSweepError, match="still pending"):
+            executor([small_config()])
