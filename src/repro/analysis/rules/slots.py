@@ -73,21 +73,26 @@ def _is_exempt(node: ast.ClassDef) -> bool:
 class SlotsOnHotPath(SourceRule):
     """Classes in the event-loop modules must declare ``__slots__``.
 
-    Scoped to ``sim/engine.py``, ``phy/radio.py``, ``phy/channel.py``
-    and ``packet.py`` — the modules whose instances are allocated per
-    event, per reception or per packet.  A plain ``__slots__`` tuple or
-    ``@dataclass(slots=True)`` both satisfy the rule; ``Enum``,
-    exception and ``Protocol`` classes are exempt (their metaclasses
-    manage storage).  This protects the PR-3 allocation wins from
-    silently regressing when a helper class lands in a hot module.
+    Scoped to ``sim/engine.py``, ``sim/rng.py``, ``phy/radio.py``,
+    ``phy/channel.py``, ``phy/error_models.py`` and ``packet.py`` — the
+    modules whose instances are allocated per event, per reception, per
+    decoded frame or per packet (``sim/rng.py`` and ``error_models.py``
+    joined the list with the PR-8 slab/batched-RNG refactor: the per-link
+    uniform buffers and per-frame error results live there).  A plain
+    ``__slots__`` tuple or ``@dataclass(slots=True)`` both satisfy the
+    rule; ``Enum``, exception and ``Protocol`` classes are exempt (their
+    metaclasses manage storage).  This protects the PR-3 allocation wins
+    from silently regressing when a helper class lands in a hot module.
     """
 
     id = "slots-on-hot-path"
     title = "hot-path class without __slots__ reintroduces per-instance dicts"
     include = (
         "repro/sim/engine.py",
+        "repro/sim/rng.py",
         "repro/phy/radio.py",
         "repro/phy/channel.py",
+        "repro/phy/error_models.py",
         "repro/packet.py",
     )
 

@@ -452,19 +452,23 @@ class RippleMac(MacLayer):
         self._arm_relay(pending)
 
     def _arm_relay(self, pending: _PendingRelay) -> None:
-        if self.radio.is_channel_busy:
+        if self.radio.busy:
             return  # re-armed on the next idle transition
         idle_for = self.sim.now - self.radio.idle_since
         remaining = max(0, pending.required_idle_ns - idle_for)
         pending.event = self.sim.schedule(remaining, self._fire_relay, pending)
 
     def _on_busy_for_relays(self) -> None:
+        if not self._pending_relays:  # almost always empty: every busy/idle transition lands here
+            return
         for pending in self._pending_relays.values():
             if pending.event is not None:
                 pending.event.cancel()
                 pending.event = None
 
     def _on_idle_for_relays(self) -> None:
+        if not self._pending_relays:
+            return
         for pending in list(self._pending_relays.values()):
             self._arm_relay(pending)
 
@@ -474,7 +478,7 @@ class RippleMac(MacLayer):
         self._pending_relays.pop(frame.frame_id, None)
         if frame.frame_id in self._suppressed_frames or frame.frame_id in self._relayed_frames:
             return
-        if self.radio.is_transmitting or self.radio.is_channel_busy:
+        if self.radio.busy:
             # Lost the race against another transmission that started in the
             # same instant; treat it like a busy channel and wait again.
             self._pending_relays[frame.frame_id] = pending

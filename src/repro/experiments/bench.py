@@ -19,6 +19,7 @@ than ``--threshold`` percent)::
     python -m repro.experiments bench --quick         # CI smoke subset
     python -m repro.experiments bench --families roofnet wigle --schemes R16
     python -m repro.experiments bench compare BENCH_old.json BENCH_new.json --threshold 5
+    python -m repro.experiments bench compare BENCH_old.json BENCH_new.json --json
 
 Timing runs always simulate — the sweep result cache is deliberately
 bypassed, since a cache hit would time JSON deserialisation instead of
@@ -424,6 +425,96 @@ def load_report(path: str) -> Dict[str, object]:
         return json.load(handle)
 
 
+def _case_name(case: Dict[str, object]) -> str:
+    """Best-effort case name: ``name`` field, else ``family/scheme``.
+
+    Older report writers stored only ``family``/``scheme``; renamed or
+    hand-edited reports may carry either shape.  Compare must degrade to
+    a symmetric-difference report rather than crash on the shape change.
+    """
+    name = case.get("name")
+    if name:
+        return str(name)
+    return f"{case.get('family', '?')}/{case.get('scheme', '?')}"
+
+
+def compare_reports_data(
+    baseline: Dict[str, object],
+    current: Dict[str, object],
+    threshold_pct: float = 5.0,
+) -> Dict[str, object]:
+    """Structured diff of two bench reports (the ``--json`` payload).
+
+    Cases present in both reports are compared; cases present in only one
+    (added, removed or renamed between revisions) are listed under
+    ``only_in_baseline`` / ``only_in_current`` and never gate.  Each
+    compared row carries a ``status``:
+
+    * ``"regression"`` — events/s dropped by more than ``threshold_pct``,
+    * ``"durations differ"`` — timed at different simulated durations, so
+      the numbers are only loosely comparable and the row is not gated,
+    * ``"ok"`` — everything else.
+    """
+    base_cases = {_case_name(case): case for case in baseline.get("cases", [])}
+    cur_cases = {_case_name(case): case for case in current.get("cases", [])}
+    rows: List[Dict[str, object]] = []
+    regressions: List[str] = []
+    for name in sorted(set(base_cases) & set(cur_cases)):
+        base = base_cases[name]
+        cur = cur_cases[name]
+        base_eps = float(base.get("events_per_sec", 0.0))
+        cur_eps = float(cur.get("events_per_sec", 0.0))
+        delta_pct = 100.0 * (cur_eps - base_eps) / base_eps if base_eps > 0 else 0.0
+        if base.get("sim_duration_s") != cur.get("sim_duration_s"):
+            status = "durations differ"
+        elif delta_pct < -threshold_pct:
+            status = "regression"
+            regressions.append(name)
+        else:
+            status = "ok"
+        rows.append(
+            {
+                "name": name,
+                "baseline_events_per_sec": base_eps,
+                "current_events_per_sec": cur_eps,
+                "delta_pct": round(delta_pct, 2),
+                "baseline_sim_duration_s": base.get("sim_duration_s"),
+                "current_sim_duration_s": cur.get("sim_duration_s"),
+                "status": status,
+            }
+        )
+    base_micro = {str(m.get("topology", "?")): m for m in baseline.get("dispatch", [])}
+    cur_micro = {str(m.get("topology", "?")): m for m in current.get("dispatch", [])}
+    dispatch_rows: List[Dict[str, object]] = []
+    for topology in sorted(set(base_micro) & set(cur_micro)):
+        base_tps = float(base_micro[topology].get("transmissions_per_sec", 0.0))
+        cur_tps = float(cur_micro[topology].get("transmissions_per_sec", 0.0))
+        delta_pct = 100.0 * (cur_tps - base_tps) / base_tps if base_tps > 0 else 0.0
+        status = "ok"
+        if delta_pct < -threshold_pct:
+            status = "regression"
+            regressions.append(f"dispatch/{topology}")
+        dispatch_rows.append(
+            {
+                "name": f"dispatch/{topology}",
+                "baseline_transmissions_per_sec": base_tps,
+                "current_transmissions_per_sec": cur_tps,
+                "delta_pct": round(delta_pct, 2),
+                "status": status,
+            }
+        )
+    return {
+        "baseline_revision": baseline.get("revision", "?"),
+        "current_revision": current.get("revision", "?"),
+        "threshold_pct": threshold_pct,
+        "cases": rows,
+        "dispatch": dispatch_rows,
+        "only_in_baseline": sorted(set(base_cases) - set(cur_cases)),
+        "only_in_current": sorted(set(cur_cases) - set(base_cases)),
+        "regressions": regressions,
+    }
+
+
 def compare_reports(
     baseline: Dict[str, object],
     current: Dict[str, object],
@@ -433,60 +524,53 @@ def compare_reports(
 
     Returns ``(table_text, regressions)`` where ``regressions`` lists the
     case names whose events/s dropped by more than ``threshold_pct``
-    relative to the baseline.  Cases present in only one report are shown
+    relative to the baseline.  Cases present in only one report (renamed
+    or added between revisions) are reported as a symmetric difference
     but never counted as regressions; cases timed at different simulated
     durations are flagged (warm-up effects make their events/s only
     loosely comparable) and excluded from regression accounting too.
     """
-    base_cases = {case["name"]: case for case in baseline.get("cases", [])}
-    cur_cases = {case["name"]: case for case in current.get("cases", [])}
+    data = compare_reports_data(baseline, current, threshold_pct=threshold_pct)
     header = (
         f"{'case':<20} {'base ev/s':>12} {'current ev/s':>13} {'delta':>8}   "
         f"(threshold -{threshold_pct:g}%)"
     )
     lines = [
-        f"baseline {baseline.get('revision', '?')}  vs  current {current.get('revision', '?')}",
+        f"baseline {data['baseline_revision']}  vs  current {data['current_revision']}",
         header,
         "-" * len(header),
     ]
-    regressions: List[str] = []
-    for name in sorted(set(base_cases) | set(cur_cases)):
-        base = base_cases.get(name)
-        cur = cur_cases.get(name)
-        if base is None or cur is None:
-            side = "baseline" if cur is None else "current"
-            lines.append(f"{name:<20} {'—':>12} {'—':>13} {'—':>8}   only in {side}")
-            continue
-        base_eps = float(base.get("events_per_sec", 0.0))
-        cur_eps = float(cur.get("events_per_sec", 0.0))
-        delta_pct = 100.0 * (cur_eps - base_eps) / base_eps if base_eps > 0 else 0.0
+    for row in data["cases"]:
         note = ""
-        if base.get("sim_duration_s") != cur.get("sim_duration_s"):
+        if row["status"] == "durations differ":
             note = (
-                f"   [durations differ: {base.get('sim_duration_s')} vs "
-                f"{cur.get('sim_duration_s')} s — not gated]"
+                f"   [durations differ: {row['baseline_sim_duration_s']} vs "
+                f"{row['current_sim_duration_s']} s — not gated]"
             )
-        elif delta_pct < -threshold_pct:
+        elif row["status"] == "regression":
             note = "   REGRESSION"
-            regressions.append(name)
         lines.append(
-            f"{name:<20} {base_eps:>12,.0f} {cur_eps:>13,.0f} {delta_pct:>+7.1f}%{note}"
+            f"{row['name']:<20} {row['baseline_events_per_sec']:>12,.0f} "
+            f"{row['current_events_per_sec']:>13,.0f} {row['delta_pct']:>+7.1f}%{note}"
         )
-    base_micro = {str(m["topology"]): m for m in baseline.get("dispatch", [])}
-    cur_micro = {str(m["topology"]): m for m in current.get("dispatch", [])}
-    for topology in sorted(set(base_micro) & set(cur_micro)):
-        base_tps = float(base_micro[topology].get("transmissions_per_sec", 0.0))
-        cur_tps = float(cur_micro[topology].get("transmissions_per_sec", 0.0))
-        delta_pct = 100.0 * (cur_tps - base_tps) / base_tps if base_tps > 0 else 0.0
-        note = ""
-        if delta_pct < -threshold_pct:
-            note = "   REGRESSION"
-            regressions.append(f"dispatch/{topology}")
+    for name in data["only_in_baseline"]:
+        lines.append(f"{name:<20} {'—':>12} {'—':>13} {'—':>8}   only in baseline")
+    for name in data["only_in_current"]:
+        lines.append(f"{name:<20} {'—':>12} {'—':>13} {'—':>8}   only in current")
+    for row in data["dispatch"]:
+        note = "   REGRESSION" if row["status"] == "regression" else ""
         lines.append(
-            f"{'dispatch/' + topology:<20} {base_tps:>12,.0f} {cur_tps:>13,.0f} "
-            f"{delta_pct:>+7.1f}%{note}"
+            f"{row['name']:<20} {row['baseline_transmissions_per_sec']:>12,.0f} "
+            f"{row['current_transmissions_per_sec']:>13,.0f} {row['delta_pct']:>+7.1f}%{note}"
         )
     lines.append("-" * len(header))
+    if data["only_in_baseline"] or data["only_in_current"]:
+        lines.append(
+            f"case sets differ — compared {len(data['cases'])} common case(s); "
+            f"only in baseline: {', '.join(data['only_in_baseline']) or '(none)'}; "
+            f"only in current: {', '.join(data['only_in_current']) or '(none)'}"
+        )
+    regressions = list(data["regressions"])
     if regressions:
         lines.append(
             f"{len(regressions)} regression(s) beyond {threshold_pct:g}%: "
@@ -506,11 +590,18 @@ def run_compare_cli(args) -> int:
     try:
         baseline = load_report(args.positional[1])
         current = load_report(args.positional[2])
-        text, regressions = compare_reports(baseline, current, threshold_pct=args.threshold)
+        if getattr(args, "json", False):
+            data = compare_reports_data(baseline, current, threshold_pct=args.threshold)
+            regressions = list(data["regressions"])
+            text = json.dumps(data, indent=2)
+        else:
+            text, regressions = compare_reports(
+                baseline, current, threshold_pct=args.threshold
+            )
     except OSError as exc:
         print(f"bench compare: cannot read report: {exc}", file=sys.stderr)
         return 2
-    except (ValueError, KeyError, TypeError) as exc:
+    except (ValueError, KeyError, TypeError, AttributeError) as exc:
         print(f"bench compare: malformed report: {exc!r}", file=sys.stderr)
         return 2
     print(text)
@@ -536,6 +627,11 @@ def add_bench_arguments(parser) -> None:
     parser.add_argument(
         "--threshold", type=float, default=5.0, metavar="PCT",
         help="events/s drop (in %%) counted as a regression by 'compare' (default 5)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="'compare' only: emit the structured diff as JSON (for CI tooling); "
+             "exit codes are unchanged",
     )
     parser.add_argument(
         "--duration", type=float, default=None, metavar="SECONDS",

@@ -71,8 +71,11 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 #: 4 = component pack (``propagation``/``propagation_params`` in ``phy``,
 #: rate-adaptive MAC / Poisson traffic / trace topologies behind component
 #: params), so no pre-pack entry can alias a config that now carries
-#: component parameters those layouts could not express.
-CACHE_SCHEMA_VERSION = 4
+#: component parameters those layouts could not express;
+#: 5 = counter-based (Philox) RNG streams — every draw value changed, so a
+#: schema-4 result describes a different sample path than a schema-5 run of
+#: the same config and must never be reused.
+CACHE_SCHEMA_VERSION = 5
 
 
 def config_digest(config: ScenarioConfig) -> str:

@@ -20,7 +20,7 @@ the receiving radio via :meth:`WirelessChannel.apply_bit_errors`.
 Hot-path design
 ---------------
 Dispatch is O(degree), not O(radios).  Per sender the channel keeps a
-*candidate receiver list*: the radios whose deterministic path-loss power
+:class:`_DispatchPlan`: the radios whose deterministic path-loss power
 plus the maximum possible shadowing fade (the propagation model bounds
 its draws at ``max_deviation_sigmas``) still reaches the carrier-sense
 threshold.  Everything else provably cannot sense the frame, so skipping
@@ -28,9 +28,23 @@ it is exact, not approximate.  Skipping is only sound because every link
 draws fading and bit errors from its *own* keyed RNG stream
 (:meth:`~repro.sim.rng.RandomStreams.stream_for`) — with the old single
 shared stream, culling one receiver would have shifted every other
-link's sample path.  Candidate lists carry the link's precomputed
-distance and generator and are invalidated whenever any radio moves or
-registers.
+link's sample path.
+
+Fade draws are **batched across the whole candidate list**: the plan
+fills a ``(BLOCK, k)`` matrix column-by-column from the per-link fade
+buffers (each column is one link's own keyed stream, so per-link sample
+paths stay independent and registration-order-free), adds the
+precomputed mean powers in one vectorised operation, and serves one
+ready-made row of received powers per transmission.  Per frame the
+dispatch loop is then pure Python-float compares — no numpy scalar
+dispatch at all.  Plans also carry each receiver's bound signal
+callbacks so the two-entry signal window is scheduled through
+:meth:`~repro.sim.engine.Simulator.schedule_window` without creating a
+bound method per event, and :class:`Reception` objects are recycled
+through a freelist (returned by the radio when the signal window
+closes).  Plans are invalidated whenever any radio moves or registers;
+the per-link stream buffers survive invalidation, so a link's fade
+sample path never depends on when radios happened to move.
 """
 
 from __future__ import annotations
@@ -47,22 +61,25 @@ from repro.phy.params import PhyParams
 from repro.phy.propagation import PathLossModel, propagation_delay_ns
 from repro.phy.radio import Radio, Reception
 from repro.sim.engine import Simulator
-from repro.sim.rng import RandomStreams
+from repro.sim.rng import RandomStreams, UniformStream
+
 
 class _LinkFadeStream:
     """Buffered, bounded fade draws for one (sender, receiver) link.
 
     Scalar generator calls cost ~1.5 us each in numpy call overhead;
     drawing a batch through the propagation model's ``fade_batch_db`` and
-    serving it element-wise produces the *identical* value sequence
-    (models fill vectorised draws from the same bit stream in order — the
+    serving it block-wise produces the *identical* value sequence (models
+    fill vectorised draws from the same bit stream in order — the
     hot-path contract in :mod:`repro.phy.propagation`) at a fraction of
     the cost.  The buffer belongs to the link's keyed RNG stream, not to
-    the candidate cache: geometry invalidation rebuilds candidate lists
-    but keeps these objects, so a link's fade sample path never depends on
+    the dispatch-plan cache: geometry invalidation rebuilds plans but
+    keeps these objects, so a link's fade sample path never depends on
     when radios happened to move.
     """
 
+    #: Draws pulled from the generator per refill; must be a multiple of
+    #: :attr:`_DispatchPlan.BLOCK` so block serving never straddles a refill.
     BATCH = 64
 
     __slots__ = ("generator", "propagation", "_buffer", "_index")
@@ -70,29 +87,64 @@ class _LinkFadeStream:
     def __init__(self, generator: np.random.Generator, propagation) -> None:
         self.generator = generator
         self.propagation = propagation
-        self._buffer = None
+        self._buffer: Optional[np.ndarray] = None
         self._index = 0
 
-    def next_db(self) -> float:
-        """The link's next bounded fade, in dB (a plain Python float).
-
-        The batch is converted with ``tolist()`` once per refill: serving
-        native floats keeps the per-frame power arithmetic and threshold
-        compares out of numpy scalar dispatch.
-        """
+    def take_block(self, count: int) -> np.ndarray:
+        """The link's next ``count`` bounded fades, in dB (an ndarray view)."""
         index = self._index
         buffer = self._buffer
-        if buffer is None or index >= self.BATCH:
-            buffer = self.propagation.fade_batch_db(self.generator, self.BATCH).tolist()
+        if buffer is None or index >= len(buffer):
+            buffer = self.propagation.fade_batch_db(self.generator, self.BATCH)
             self._buffer = buffer
             index = 0
-        self._index = index + 1
-        return buffer[index]
+        self._index = index + count
+        return buffer[index : index + count]
 
 
-#: One precomputed dispatch target:
-#: (radio, mean received power dBm, propagation delay ns, per-link fades).
-_Candidate = Tuple[Radio, float, int, _LinkFadeStream]
+class _DispatchPlan:
+    """One sender's precomputed dispatch state (see module docstring).
+
+    ``entries`` holds per-candidate ``(delay_ns, signal_start,
+    signal_end)`` tuples — the bound radio callbacks are created once
+    here instead of twice per frame in the dispatch loop.  ``refill``
+    assembles the next ``BLOCK`` transmissions' received-power rows in
+    one vectorised pass: column ``j`` of the fade matrix comes from
+    candidate ``j``'s own link stream, so batching across the candidate
+    list never couples links.
+    """
+
+    #: Transmissions' worth of power rows produced per vectorised refill.
+    BLOCK = 16
+
+    __slots__ = ("radios", "entries", "fade_streams", "means", "end_own", "rows", "row_index", "_matrix")
+
+    def __init__(
+        self,
+        radios: List[Radio],
+        entries: List[Tuple[int, object, object]],
+        fade_streams: List[_LinkFadeStream],
+        means: np.ndarray,
+        end_own,
+    ) -> None:
+        self.radios = radios
+        self.entries = entries
+        self.fade_streams = fade_streams
+        self.means = means
+        self.end_own = end_own
+        self.rows: List[List[float]] = []
+        self.row_index = 0
+        self._matrix = np.empty((self.BLOCK, len(fade_streams))) if fade_streams else None
+
+    def refill(self) -> List[List[float]]:
+        """Produce the next ``BLOCK`` rows of per-candidate received powers."""
+        matrix = self._matrix
+        block = self.BLOCK
+        for column, fades in enumerate(self.fade_streams):
+            matrix[:, column] = fades.take_block(block)
+        rows = (matrix + self.means).tolist()
+        self.rows = rows
+        return rows
 
 
 @dataclass(slots=True)
@@ -132,21 +184,28 @@ class WirelessChannel:
         "_radios",
         "_ids",
         "_distance_cache",
-        "_candidates",
+        "_plans",
         "_link_fades",
+        "_link_noise",
+        "_prob_cache",
+        "_free_receptions",
     )
 
     #: Hard cap on cached per-pair distances; reached only by scenarios with
     #: thousands of stations, where a rare full drop is cheaper than growth.
     DISTANCE_CACHE_MAX = 1 << 16
 
-    #: Hard cap on per-link fade buffers (each ~1 KB: a Generator plus a
-    #: 64-float batch).  Overflow drops the whole table: the keyed stream
-    #: registry retains every generator's state, so surviving links resume
-    #: their sample paths minus any unserved buffered draws — a
-    #: deterministic (same-seed-same-everything) but real perturbation,
-    #: which is why the cap is far above any current workload's link count.
+    #: Hard cap on per-link stream buffers (fades and bit-error uniforms,
+    #: each ~1 KB: a Generator plus a batch).  Overflow drops the whole
+    #: table: the keyed stream registry retains every generator's state, so
+    #: surviving links resume their sample paths minus any unserved
+    #: buffered draws — a deterministic (same-seed-same-everything) but
+    #: real perturbation, which is why the cap is far above any current
+    #: workload's link count.
     LINK_FADES_MAX = 1 << 16
+
+    #: Hard cap on recycled Reception objects kept for reuse.
+    RECEPTION_FREELIST_MAX = 1024
 
     def __init__(
         self,
@@ -172,12 +231,18 @@ class WirelessChannel:
         self._ids = itertools.count()
         #: Cached pairwise distances, dropped whenever any radio moves.
         self._distance_cache: Dict[Tuple[int, int], float] = {}
-        #: Per-sender candidate receiver lists (see module docstring).
-        self._candidates: Dict[int, List[_Candidate]] = {}
+        #: Per-sender dispatch plans (see module docstring).
+        self._plans: Dict[int, _DispatchPlan] = {}
         #: Per-link fade buffers; keyed by (sender, receiver) node ids and
         #: deliberately *not* geometry-invalidated (fades are i.i.d. per
         #: frame, so they stay valid when stations move).
         self._link_fades: Dict[Tuple[int, int], _LinkFadeStream] = {}
+        #: Per-link buffered bit-error uniforms, same lifecycle as fades.
+        self._link_noise: Dict[Tuple[int, int], UniformStream] = {}
+        #: Memoised block success probabilities (few distinct bit counts).
+        self._prob_cache: Dict[int, float] = {}
+        #: Recycled Reception objects (returned by radios at signal end).
+        self._free_receptions: List[Reception] = []
 
     # ------------------------------------------------------------------
     # Registration
@@ -185,7 +250,7 @@ class WirelessChannel:
     def register(self, radio: Radio) -> None:
         """Add a radio to the medium (called from ``Radio.__init__``).
 
-        Registration invalidates the cached geometry: candidate lists must
+        Registration invalidates the cached geometry: dispatch plans must
         learn about the newcomer, and a reused node id must not resurrect a
         previous radio's cached distances.
         """
@@ -199,7 +264,7 @@ class WirelessChannel:
         External callers may mutate the returned list freely; the
         per-transmission hot path never goes through this property (it
         would pay an O(N) copy per frame) — it iterates the internal list
-        and the per-sender candidate caches instead.
+        and the per-sender dispatch plans instead.
         """
         return list(self._radios)
 
@@ -210,47 +275,75 @@ class WirelessChannel:
         """Propagate ``frame`` from ``sender`` to every radio that can hear it."""
         sim = self.sim
         duration_ns = int(duration_ns)
+        now = sim.now
         transmission = Transmission(
             transmission_id=next(self._ids),
             frame=frame,
             sender=sender,
-            start_time=sim.now,
+            start_time=now,
             duration_ns=duration_ns,
         )
         self.stats.transmissions += 1
-        params = self.params
-        cs_threshold = params.cs_threshold_dbm
-        rx_threshold = params.rx_threshold_dbm
-        now = sim.now
-        signal = sim.schedule_signal
-        attempted = 0
-        for radio, mean_dbm, delay, fades in self._candidates_for(sender):
-            power = mean_dbm + fades.next_db()
-            if power < cs_threshold:
-                continue  # too weak even to sense: no carrier, no interference
-            reception = Reception(
-                transmission=transmission, power_dbm=power, decodable=power >= rx_threshold
-            )
-            attempted += 1
-            arrival = now + delay
-            signal(arrival, radio._signal_start, reception)
-            signal(arrival + duration_ns, radio._signal_end, reception)
-        self.stats.deliveries_attempted += attempted
-        sim.schedule(duration_ns, sender._end_own_transmission, transmission)
+        plan = self._plans.get(sender.node_id)
+        if plan is None:
+            plan = self._build_plan(sender)
+            self._plans[sender.node_id] = plan
+        entries = plan.entries
+        if entries:
+            rows = plan.rows
+            row_index = plan.row_index
+            if row_index >= len(rows):
+                rows = plan.refill()
+                row_index = 0
+            powers = rows[row_index]
+            plan.row_index = row_index + 1
+            params = self.params
+            cs_threshold = params.cs_threshold_dbm
+            rx_threshold = params.rx_threshold_dbm
+            window = sim.schedule_window
+            free = self._free_receptions
+            attempted = 0
+            for (delay, signal_start, signal_end), power in zip(entries, powers):
+                if power < cs_threshold:
+                    continue  # too weak even to sense: no carrier, no interference
+                if free:
+                    reception = free.pop()
+                    reception.transmission = transmission
+                    reception.power_dbm = power
+                    reception.decodable = power >= rx_threshold
+                    reception.interfered = False
+                else:
+                    reception = Reception(
+                        transmission=transmission,
+                        power_dbm=power,
+                        decodable=power >= rx_threshold,
+                    )
+                attempted += 1
+                arrival = now + delay
+                window(arrival, arrival + duration_ns, signal_start, signal_end, reception)
+            self.stats.deliveries_attempted += attempted
+        sim.schedule_signal(now + duration_ns, plan.end_own, transmission)
         return transmission
+
+    def _recycle_reception(self, reception: Reception) -> None:
+        """Return a Reception whose signal window has closed to the free pool."""
+        free = self._free_receptions
+        if len(free) < self.RECEPTION_FREELIST_MAX:
+            reception.transmission = None
+            free.append(reception)
 
     # ------------------------------------------------------------------
     # Neighborhood index
     # ------------------------------------------------------------------
-    def _candidates_for(self, sender: Radio) -> List[_Candidate]:
-        """``sender``'s candidate list, built lazily and cached until invalidated."""
-        candidates = self._candidates.get(sender.node_id)
-        if candidates is None:
-            candidates = self._build_candidates(sender)
-            self._candidates[sender.node_id] = candidates
-        return candidates
+    def _plan_for(self, sender: Radio) -> _DispatchPlan:
+        """``sender``'s dispatch plan, built lazily and cached until invalidated."""
+        plan = self._plans.get(sender.node_id)
+        if plan is None:
+            plan = self._build_plan(sender)
+            self._plans[sender.node_id] = plan
+        return plan
 
-    def _build_candidates(self, sender: Radio) -> List[_Candidate]:
+    def _build_plan(self, sender: Radio) -> _DispatchPlan:
         """Receivers ``sender`` could possibly reach, with link RNGs attached.
 
         A radio is excluded only when its deterministic received power plus
@@ -259,10 +352,10 @@ class WirelessChannel:
         still misses the carrier-sense threshold — a *sound* cull, not a
         heuristic one.  Each entry carries the link's deterministic power
         and propagation delay (both pure functions of the frozen geometry)
-        so per-frame dispatch is one Gaussian draw and a compare.  The
-        per-link generators come from the keyed-stream registry, so
-        rebuilding a list after a move resumes each link's sample path
-        instead of restarting it.
+        so per-frame dispatch is one buffered fade row and a compare per
+        candidate.  The per-link generators come from the keyed-stream
+        registry, so rebuilding a plan after a move resumes each link's
+        sample path instead of restarting it.
         """
         propagation = self.propagation
         params = self.params
@@ -271,7 +364,10 @@ class WirelessChannel:
         mean_power = propagation.mean_received_power_dbm
         model_delay = self.model_propagation_delay
         sender_id = sender.node_id
-        candidates: List[_Candidate] = []
+        radios: List[Radio] = []
+        entries: List[Tuple[int, object, object]] = []
+        fade_streams: List[_LinkFadeStream] = []
+        means: List[float] = []
         for radio in self._radios:
             if radio is sender:
                 continue
@@ -280,8 +376,13 @@ class WirelessChannel:
             if mean_dbm < power_floor:
                 continue
             delay = propagation_delay_ns(distance) if model_delay else 0
-            candidates.append((radio, mean_dbm, delay, self._fades_for(sender_id, radio.node_id)))
-        return candidates
+            radios.append(radio)
+            entries.append((delay, radio._signal_start, radio._signal_end))
+            fade_streams.append(self._fades_for(sender_id, radio.node_id))
+            means.append(mean_dbm)
+        return _DispatchPlan(
+            radios, entries, fade_streams, np.array(means), sender._end_own_transmission
+        )
 
     def _fades_for(self, sender_id: int, receiver_id: int) -> _LinkFadeStream:
         """The (cached) buffered fade stream of one directed link."""
@@ -304,12 +405,12 @@ class WirelessChannel:
         radio *not* in this list can never receive power at or above the
         carrier-sense threshold from ``sender`` at the current geometry.
         """
-        return [radio for radio, _mean_dbm, _delay, _rng in self._candidates_for(sender)]
+        return list(self._plan_for(sender).radios)
 
     def _invalidate_geometry(self) -> None:
-        """Drop every geometry-derived cache (distances, candidate lists)."""
+        """Drop every geometry-derived cache (distances, dispatch plans)."""
         self._distance_cache.clear()
-        self._candidates.clear()
+        self._plans.clear()
 
     # ------------------------------------------------------------------
     # Helpers
@@ -319,16 +420,49 @@ class WirelessChannel:
         """Run the i.i.d. BER model over a decoded frame's header and sub-packets.
 
         When the receiving radio (and the transmitting one) are known the
-        draws come from the link's keyed stream, keeping bit-error sample
-        paths independent across forwarders; anonymous callers fall back to
-        the shared ``biterror`` stream.
+        draws come from the link's keyed stream — buffered through a
+        :class:`~repro.sim.rng.UniformStream`, which serves the identical
+        uniform sequence as scalar draws — keeping bit-error sample paths
+        independent across forwarders; anonymous callers fall back to the
+        shared ``biterror`` stream.
         """
-        if receiver is not None and sender is not None:
-            rng = self.rng.stream_for("biterror", sender.node_id, receiver.node_id)
-        else:
+        if receiver is None or sender is None:
             rng = self.rng.stream("biterror")
-        subpacket_bits = [subpacket.bits for subpacket in frame.subpackets]
-        return self.error_model.evaluate_frame(frame.header_bits, subpacket_bits, rng)
+            subpacket_bits = [subpacket.bits for subpacket in frame.subpackets]
+            return self.error_model.evaluate_frame(frame.header_bits, subpacket_bits, rng)
+        key = (sender.node_id, receiver.node_id)
+        noise = self._link_noise.get(key)
+        if noise is None:
+            noise = UniformStream(self.rng.stream_for("biterror", key[0], key[1]))
+            if len(self._link_noise) >= self.LINK_FADES_MAX:
+                self._link_noise.clear()
+            self._link_noise[key] = noise
+        subpackets = frame.subpackets
+        draws = noise.take(1 + len(subpackets))
+        # Block success probabilities are memoised in a plain dict:
+        # ``BitErrorModel.success_probability`` is already lru_cache-backed,
+        # but its guard branches plus the lru machinery cost more than a
+        # dict hit on the few distinct bit counts a scenario uses.
+        cache = self._prob_cache
+        model_success = self.error_model.success_probability
+        bits = frame.header_bits
+        probability = cache.get(bits)
+        if probability is None:
+            probability = model_success(bits)
+            cache[bits] = probability
+        header_ok = draws[0] < probability
+        subpacket_ok = []
+        append = subpacket_ok.append
+        index = 0
+        for subpacket in subpackets:
+            bits = subpacket.bits
+            probability = cache.get(bits)
+            if probability is None:
+                probability = model_success(bits)
+                cache[bits] = probability
+            index += 1
+            append(draws[index] < probability)
+        return FrameErrorResult(header_ok=header_ok, subpacket_ok=subpacket_ok)
 
     def distance(self, a: Radio, b: Radio) -> float:
         """Euclidean distance between two radios in metres (cached per pair).

@@ -33,9 +33,13 @@ def _block_success_probability(bit_error_rate: float, bits: int) -> float:
     return float((1.0 - bit_error_rate) ** bits)
 
 
-@dataclass
+@dataclass(slots=True)
 class FrameErrorResult:
-    """Outcome of pushing one frame through the bit-error model."""
+    """Outcome of pushing one frame through the bit-error model.
+
+    ``slots=True``: one result is allocated per decoded frame, on the
+    delivery hot path.
+    """
 
     header_ok: bool
     subpacket_ok: List[bool]
@@ -51,7 +55,7 @@ class FrameErrorResult:
         return all(self.subpacket_ok)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BitErrorModel:
     """i.i.d. per-bit error model with the paper's two operating points."""
 

@@ -70,6 +70,8 @@ class Radio:
     __slots__ = (
         "node_id",
         "channel",
+        "busy",
+        "_sim",
         "_position",
         "mac",
         "stats",
@@ -82,6 +84,7 @@ class Radio:
     def __init__(self, node_id: int, position: tuple[float, float], channel: "WirelessChannel") -> None:
         self.node_id = node_id
         self.channel = channel
+        self._sim = channel.sim
         self._position = (float(position[0]), float(position[1]))
         self.mac = None  # attached later by the node wiring
         self.stats = RadioStats()
@@ -89,6 +92,11 @@ class Radio:
         self._current_tx: Optional["Transmission"] = None
         self._receptions: Dict[int, Reception] = {}
         self._idle_since: int = 0
+        #: Carrier-sense state as a plain attribute: maintained at every
+        #: state transition below so the MAC's hottest query (one or more
+        #: reads per slot timer) is a single attribute load instead of a
+        #: property call re-deriving it from the transmission/reception sets.
+        self.busy = False
         channel.register(self)
 
     @property
@@ -140,8 +148,11 @@ class Radio:
 
     @property
     def is_channel_busy(self) -> bool:
-        """Carrier-sense result: busy while transmitting or sensing any signal."""
-        return self._current_tx is not None or bool(self._receptions)
+        """Carrier-sense result: busy while transmitting or sensing any signal.
+
+        Equal to the :attr:`busy` attribute, which hot paths read directly.
+        """
+        return self.busy
 
     @property
     def idle_since(self) -> int:
@@ -158,10 +169,11 @@ class Radio:
         transmits anyway while signals are arriving, those receptions are
         destroyed (this is exactly what happens to a real half-duplex radio).
         """
-        was_busy = self.is_channel_busy
+        was_busy = self.busy
         transmission = self.channel.start_transmission(self, frame, duration_ns)
         self._current_tx = transmission
         self._tx_until = transmission.end_time
+        self.busy = True
         for reception in self._receptions.values():
             reception.interfered = True
         self.stats.frames_sent += 1
@@ -174,7 +186,8 @@ class Radio:
         """Channel callback: our own transmission just finished."""
         self._current_tx = None
         self._tx_until = None
-        if not self.is_channel_busy:
+        if not self._receptions:
+            self.busy = False
             self._mark_idle()
         if self.mac is not None:
             self.mac.on_transmission_complete(transmission.frame)
@@ -183,7 +196,7 @@ class Radio:
     # Reception (channel callbacks)
     # ------------------------------------------------------------------
     def _signal_start(self, reception: Reception) -> None:
-        was_busy = self.is_channel_busy
+        was_busy = self.busy
         if self._current_tx is not None:
             reception.interfered = True
         if self._receptions:
@@ -192,6 +205,7 @@ class Radio:
             for other in self._receptions.values():
                 other.interfered = True
         self._receptions[reception.transmission.transmission_id] = reception
+        self.busy = True
         if not was_busy:
             self._notify_busy()
 
@@ -200,28 +214,32 @@ class Radio:
         # Update carrier-sense state *before* delivering the frame: protocol
         # timers of the form "channel idle for T" (RIPPLE's relay deferral)
         # must see the idle period as starting at the end of this frame.
-        if not self.is_channel_busy:
+        if self._current_tx is None and not self._receptions:
+            self.busy = False
             self._mark_idle()
-        self._deliver_if_possible(reception)
-
-    def _deliver_if_possible(self, reception: Reception) -> None:
-        if not reception.decodable:
-            return
-        if reception.interfered:
-            self.stats.frames_collided += 1
-            return
-        frame = reception.transmission.frame
-        # Passing both ends of the link routes the draws through the keyed
-        # per-link bit-error stream (independence across forwarders).
-        result = self.channel.apply_bit_errors(
-            frame, receiver=self, sender=reception.transmission.sender
-        )
-        if not result.header_ok:
-            self.stats.frames_header_error += 1
-            return
-        self.stats.frames_decoded += 1
-        if self.mac is not None:
-            self.mac.on_frame_received(frame, result)
+        # Delivery is inlined here (not a helper) because this callback runs
+        # once per sensed signal — the busiest event class in every workload.
+        if reception.decodable:
+            if reception.interfered:
+                self.stats.frames_collided += 1
+            else:
+                transmission = reception.transmission
+                frame = transmission.frame
+                # Passing both ends of the link routes the draws through the
+                # keyed per-link bit-error stream (independence across
+                # forwarders).
+                result = self.channel.apply_bit_errors(
+                    frame, receiver=self, sender=transmission.sender
+                )
+                if not result.header_ok:
+                    self.stats.frames_header_error += 1
+                else:
+                    self.stats.frames_decoded += 1
+                    if self.mac is not None:
+                        self.mac.on_frame_received(frame, result)
+        # Both window entries are spent and the reception is out of every
+        # tracking structure: hand it back to the channel's free pool.
+        self.channel._recycle_reception(reception)
 
     # ------------------------------------------------------------------
     # Busy / idle notifications
@@ -231,7 +249,7 @@ class Radio:
             self.mac.on_channel_busy()
 
     def _mark_idle(self) -> None:
-        self._idle_since = self.channel.sim.now
+        self._idle_since = self._sim.now
         if self.mac is not None:
             self.mac.on_channel_idle()
 

@@ -17,16 +17,34 @@ avoids heap surgery).
 
 Performance notes
 -----------------
-The heap holds plain ``(time, seq, event)`` tuples rather than the
-:class:`Event` objects themselves: tuple comparison is a single C-level
-operation, whereas comparing objects dispatches to Python ``__lt__``
-once per sift step — on simulation workloads that comparison alone was
-~15 % of total runtime.  :class:`Event` itself uses ``__slots__`` so the
-per-event allocation is one object without a ``__dict__``.  The run loop
-peeks/pops on a local alias of the heap; :meth:`Simulator._compact` must
-therefore rebuild the heap *in place* (``self._heap[:] = ...``) so the
-alias never goes stale when a callback's cancellation triggers
-compaction mid-run.
+The heap holds plain tuples rather than the :class:`Event` objects
+themselves: tuple comparison is a single C-level operation, whereas
+comparing objects dispatches to Python ``__lt__`` once per sift step —
+on simulation workloads that comparison alone was ~15 % of total
+runtime.  Two entry shapes share the heap, distinguished by length:
+
+* ``(time, seq, event)`` — a cancellable :class:`Event` timer.
+* ``(time, seq, callback, payload)`` — a *signal* entry: the fixed-shape,
+  never-cancelled events of the PHY signal window (reception start/end,
+  transmission end).  These carry no :class:`Event` at all, so the
+  busiest event class in every workload allocates nothing but its heap
+  tuple.
+
+:class:`Event` objects themselves are recycled through a freelist: an
+event returns to the free pool when its heap entry is consumed (fired,
+popped-as-cancelled, or dropped by compaction), never earlier.  Because
+recycling waits for the heap entry, an :class:`Event` is referenced by
+at most one heap entry at any time and a fired/cancelled handle can
+never alias a live timer.  Stale ``cancel()`` calls on a recycled
+handle are already no-ops by the handle discipline every caller follows
+(clear-your-handle-before-reuse), and events sitting in the freelist
+always have ``cancelled=True`` so a late cancel cannot corrupt
+accounting.
+
+The run loop peeks/pops on a local alias of the heap;
+:meth:`Simulator._compact` must therefore rebuild the heap *in place*
+(``self._heap[:] = ...``) so the alias never goes stale when a
+callback's cancellation triggers compaction mid-run.
 """
 
 from __future__ import annotations
@@ -85,8 +103,9 @@ class Event:
         return f"Event(time={self.time}, seq={self.seq}, {state})"
 
 
-#: One heap entry: ``(time, seq, event)``.
-HeapEntry = Tuple[int, int, Event]
+#: An Event heap entry ``(time, seq, event)``; signal entries are the
+#: four-tuple ``(time, seq, callback, payload)`` — see the module notes.
+HeapEntry = Tuple[Any, ...]
 
 
 class SimulationError(RuntimeError):
@@ -108,11 +127,25 @@ class Simulator:
     are executed in FIFO order before the clock moves on.
     """
 
-    __slots__ = ("_now", "_heap", "_seq", "_running", "_processed", "_cancelled_pending")
+    __slots__ = (
+        "_now",
+        "_heap",
+        "_seq",
+        "_running",
+        "_processed",
+        "_cancelled_pending",
+        "_free",
+    )
 
     #: Minimum heap size before lazy-cancellation compaction kicks in; below
     #: this the scan costs more than the memory it reclaims.
     COMPACT_MIN_HEAP = 64
+
+    #: Largest number of recycled Event objects kept on the freelist; beyond
+    #: this the spike is returned to the allocator instead of being pinned
+    #: forever.  A class attribute so tests can subclass with ``0`` to get a
+    #: no-freelist reference engine.
+    FREELIST_MAX = 4096
 
     def __init__(self, start_time: int = 0) -> None:
         self._now: int = int(start_time)
@@ -121,6 +154,7 @@ class Simulator:
         self._running: bool = False
         self._processed: int = 0
         self._cancelled_pending: int = 0
+        self._free: List[Event] = []
 
     # ------------------------------------------------------------------
     # Clock
@@ -152,7 +186,21 @@ class Simulator:
         """Schedule ``callback(*args)`` to run ``delay`` nanoseconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self._now + int(delay), callback, *args)
+        when = self._now + int(delay)
+        seq = self._seq
+        self._seq = seq + 1
+        free = self._free
+        if free:
+            event = free.pop()
+            event.time = when
+            event.seq = seq
+            event.callback = callback
+            event.args = args
+            event.cancelled = False
+        else:
+            event = Event(when, seq, callback, args, self._note_cancelled)
+        heapq.heappush(self._heap, (when, seq, event))
+        return event
 
     def schedule_at(self, when: int, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule ``callback(*args)`` to run at absolute time ``when``."""
@@ -163,7 +211,16 @@ class Simulator:
             )
         seq = self._seq
         self._seq = seq + 1
-        event = Event(when, seq, callback, args, self._note_cancelled)
+        free = self._free
+        if free:
+            event = free.pop()
+            event.time = when
+            event.seq = seq
+            event.callback = callback
+            event.args = args
+            event.cancelled = False
+        else:
+            event = Event(when, seq, callback, args, self._note_cancelled)
         heapq.heappush(self._heap, (when, seq, event))
         return event
 
@@ -172,16 +229,36 @@ class Simulator:
 
         Skips the public-API conveniences — integer coercion, the
         past-scheduling guard, and returning a handle — because the caller
-        (PHY dispatch) schedules two of these per sensed receiver per
-        frame, always in the future, and never cancels them.  Cancellation
-        accounting stays correct regardless: no handle escapes, so
-        :meth:`Event.cancel` can only be reached by the engine itself.
+        (PHY dispatch) schedules these in bulk, always in the future, and
+        never cancels them.  No :class:`Event` is allocated at all: the
+        heap entry *is* the event (``(when, seq, callback, arg)``), which
+        is what makes the signal path allocation-free.
         """
         seq = self._seq
         self._seq = seq + 1
-        heapq.heappush(
-            self._heap, (when, seq, Event(when, seq, callback, (arg,), self._note_cancelled))
-        )
+        heapq.heappush(self._heap, (when, seq, callback, arg))
+
+    def schedule_window(
+        self,
+        start: int,
+        end: int,
+        open_callback: Callable[..., None],
+        close_callback: Callable[..., None],
+        payload: Any,
+    ) -> None:
+        """Schedule one reception's two-entry signal window in a single call.
+
+        Every sensed reception produces exactly two fixed-shape events —
+        signal start at ``start`` and signal end at ``end`` — sharing one
+        payload.  Both ride the four-tuple signal fast path (no
+        :class:`Event`, no handle), halving the per-reception scheduling
+        call overhead of the PHY dispatch loop.
+        """
+        seq = self._seq
+        self._seq = seq + 2
+        heap = self._heap
+        heapq.heappush(heap, (start, seq, open_callback, payload))
+        heapq.heappush(heap, (end, seq + 1, close_callback, payload))
 
     def _note_cancelled(self) -> None:
         """Bookkeeping hook invoked by :meth:`Event.cancel`.
@@ -198,8 +275,24 @@ class Simulator:
             self._compact()
 
     def _compact(self) -> None:
-        """Drop cancelled entries and re-heapify (in place: see module notes)."""
-        self._heap[:] = [entry for entry in self._heap if not entry[2].cancelled]
+        """Drop cancelled entries and re-heapify (in place: see module notes).
+
+        Dropped entries release their :class:`Event` objects back to the
+        freelist — compaction is one of the three places a heap entry is
+        consumed (with fire and popped-as-cancelled), and recycling is
+        tied to entry consumption, never to ``cancel()`` itself.
+        """
+        live: List[HeapEntry] = []
+        append = live.append
+        free = self._free
+        free_max = self.FREELIST_MAX
+        for entry in self._heap:
+            if len(entry) == 3 and entry[2].cancelled:
+                if len(free) < free_max:
+                    free.append(entry[2])
+            else:
+                append(entry)
+        self._heap[:] = live
         heapq.heapify(self._heap)
         self._cancelled_pending = 0
 
@@ -209,16 +302,31 @@ class Simulator:
     def step(self) -> bool:
         """Execute the next pending event.  Returns False if none remain."""
         heap = self._heap
+        free = self._free
+        free_max = self.FREELIST_MAX
         while heap:
-            when, _seq, event = heapq.heappop(heap)
+            entry = heapq.heappop(heap)
+            when = entry[0]
+            if len(entry) == 4:
+                if when < self._now:
+                    raise SimulationError("event heap corrupted: time went backwards")
+                self._now = when
+                entry[2](entry[3])
+                self._processed += 1
+                return True
+            event = entry[2]
             if event.cancelled:
                 self._cancelled_pending -= 1
+                if len(free) < free_max:
+                    free.append(event)
                 continue
             if when < self._now:
                 raise SimulationError("event heap corrupted: time went backwards")
             self._now = when
             event.cancelled = True  # guards against double-execution via stale handles
             event.callback(*event.args)
+            if len(free) < free_max:
+                free.append(event)
             self._processed += 1
             return True
         return False
@@ -238,39 +346,65 @@ class Simulator:
         self._running = True
         executed = 0
         truncated = False
-        # The hot loop: local aliases save an attribute lookup per event, and
-        # the pop/dispatch is inlined rather than routed through step().
+        # The hot loop: local aliases save an attribute lookup per event, the
+        # pop/dispatch is inlined rather than routed through step(), and the
+        # optional bounds collapse to plain integer compares (budget counts
+        # down from -1 forever when max_events is None and never hits zero;
+        # horizon is pushed beyond any event time when until is None).
         heap = self._heap
         heappop = heapq.heappop
+        free = self._free
+        free_max = self.FREELIST_MAX
+        budget = -1 if max_events is None else max_events
+        unbounded = until is None
+        horizon = 0 if until is None else until
         try:
             while heap:
-                if max_events is not None and executed >= max_events:
+                entry = heap[0]
+                when = entry[0]
+                if not unbounded and when > horizon:
+                    break
+                if budget == 0:
                     truncated = True
                     break
-                when, _seq, event = heap[0]
-                if event.cancelled:
-                    heappop(heap)
-                    self._cancelled_pending -= 1
-                    continue
-                if until is not None and when > until:
-                    break
+                budget -= 1
                 heappop(heap)
+                if len(entry) == 4:
+                    # Signal fast path: fixed-shape, never cancelled.
+                    if when < self._now:
+                        raise SimulationError("event heap corrupted: time went backwards")
+                    self._now = when
+                    entry[2](entry[3])
+                    executed += 1
+                    continue
+                event = entry[2]
+                if event.cancelled:
+                    self._cancelled_pending -= 1
+                    if len(free) < free_max:
+                        free.append(event)
+                    budget += 1  # consumed a dead entry, not an event
+                    continue
                 if when < self._now:
                     raise SimulationError("event heap corrupted: time went backwards")
                 self._now = when
                 event.cancelled = True  # guards against stale-handle re-execution
                 event.callback(*event.args)
-                self._processed += 1
+                if len(free) < free_max:
+                    free.append(event)
                 executed += 1
             if until is not None and until > self._now:
                 if not truncated or not self._has_runnable_event_before(until):
                     self._now = until
         finally:
+            self._processed += executed
             self._running = False
 
     def _has_runnable_event_before(self, when: int) -> bool:
         """Whether any non-cancelled event at or before ``when`` is pending."""
-        return any(entry[0] <= when and not entry[2].cancelled for entry in self._heap)
+        return any(
+            entry[0] <= when and (len(entry) == 4 or not entry[2].cancelled)
+            for entry in self._heap
+        )
 
     def run_for(self, duration: int) -> None:
         """Run for ``duration`` nanoseconds of simulated time from now."""

@@ -11,9 +11,13 @@ named stream derived from a single root seed.  This has two benefits:
   perturb the channel-noise sample path, so scheme comparisons (the bar
   charts in the paper's Figs. 3-12) see the same channel realisations.
 
-Streams are derived with :class:`numpy.random.SeedSequence` spawning keyed
-by the stream name, so the mapping name → stream is stable regardless of
-the order in which streams are first requested.
+Streams are backed by the **Philox counter-based generator**: each stream
+is ``Generator(Philox(key=...))`` with a 128-bit key derived by hashing
+``(seed, name, keys)``.  A counter-based generator's output is a pure
+function of (key, counter), so the mapping name → stream is stable
+regardless of the order in which streams are first requested, and
+deriving a stream is a single hash — no SeedSequence spawning tree, no
+entropy-pool state shared between streams.
 
 Keyed substreams
 ----------------
@@ -26,26 +30,46 @@ shared stream, every skipped draw would shift the randomness of every
 radio registered after it.  It is also the paper's own independence
 assumption made literal: "losses between the source and different
 forwarders are independent" (Section IV).
+
+Batching contract
+-----------------
+numpy Generators fill vectorised draws from the same bit stream as
+repeated scalar calls, so ``generator.standard_normal(n)`` equals ``n``
+scalar draws element for element (same for ``random``, ``normal``,
+``standard_exponential``).  The channel's per-link fade buffers and the
+:class:`UniformStream` helper below rely on this: buffering draws in
+blocks is invisible to any consumer of the value sequence.
 """
 
 from __future__ import annotations
 
-import zlib
-from typing import Dict, Tuple
+import hashlib
+from typing import Dict, List, Tuple
 
 import numpy as np
 
-#: Mask applied to user keys so arbitrary ints fit SeedSequence's uint32 words.
-_KEY_MASK = 0xFFFFFFFF
 
-#: Marker word separating keyed substreams from plain named streams, so
-#: ``stream_for("x", 0)`` can never collide with ``stream("y")`` whatever
-#: the CRC of the names.
-_KEYED_MARKER = 0x9E3779B9
+def _philox_generator(seed: int, name: str, keys: Tuple[int, ...]) -> np.random.Generator:
+    """A Philox generator keyed purely by ``(seed, name, keys)``.
+
+    The 128-bit Philox key is the truncated SHA-256 of an unambiguous
+    encoding of the triple (the name is length-prefixed so no
+    ``(name, keys)`` pair can collide with another by sliding bytes
+    between the fields).  Collision probability between any two distinct
+    triples is 2**-128 — far below SeedSequence's spawn-key guarantees —
+    and the derivation is order-free by construction: no generator's
+    stream depends on which other streams exist.
+    """
+    material = f"{seed}|{len(name)}:{name}|" + ",".join(str(int(k)) for k in keys)
+    digest = hashlib.sha256(material.encode("utf-8")).digest()
+    key = np.frombuffer(digest[:16], dtype=np.uint64)
+    return np.random.Generator(np.random.Philox(key=key))
 
 
 class RandomStreams:
     """A registry of named :class:`numpy.random.Generator` streams."""
+
+    __slots__ = ("_seed", "_streams", "_keyed")
 
     def __init__(self, seed: int = 1) -> None:
         self._seed = int(seed)
@@ -66,9 +90,7 @@ class RandomStreams:
         """
         generator = self._streams.get(name)
         if generator is None:
-            key = zlib.crc32(name.encode("utf-8"))
-            sequence = np.random.SeedSequence(entropy=self._seed, spawn_key=(key,))
-            generator = np.random.default_rng(sequence)
+            generator = _philox_generator(self._seed, name, ())
             self._streams[name] = generator
         return generator
 
@@ -91,13 +113,7 @@ class RandomStreams:
         cache_key = (name, keys)
         generator = self._keyed.get(cache_key)
         if generator is None:
-            spawn_key = (
-                zlib.crc32(name.encode("utf-8")),
-                _KEYED_MARKER,
-                *(int(k) & _KEY_MASK for k in keys),
-            )
-            sequence = np.random.SeedSequence(entropy=self._seed, spawn_key=spawn_key)
-            generator = np.random.default_rng(sequence)
+            generator = _philox_generator(self._seed, name, keys)
             self._keyed[cache_key] = generator
         return generator
 
@@ -108,3 +124,48 @@ class RandomStreams:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         keyed = sorted(f"{name}{list(keys)}" for name, keys in self._keyed)
         return f"RandomStreams(seed={self._seed}, streams={sorted(self._streams)}, keyed={keyed})"
+
+
+class UniformStream:
+    """Buffered uniform [0, 1) draws from one generator.
+
+    Scalar ``generator.random()`` calls cost ~1 µs each in numpy dispatch
+    overhead; this helper refills a 128-draw block at a time and serves
+    plain Python floats.  By the batching contract above the served
+    sequence is *identical* to scalar draws, so swapping a call site from
+    ``rng.random()`` to ``uniforms.take(1)[0]`` (or :meth:`next_float`)
+    changes nothing but the wall-clock cost.  Refills splice the unserved
+    tail onto the fresh block, so :meth:`take` spans block boundaries
+    without skipping or reordering draws.
+    """
+
+    BLOCK = 128
+
+    __slots__ = ("generator", "_buffer", "_index")
+
+    def __init__(self, generator: np.random.Generator) -> None:
+        self.generator = generator
+        self._buffer: List[float] = []
+        self._index = 0
+
+    def take(self, count: int) -> List[float]:
+        """The stream's next ``count`` uniforms, as plain Python floats."""
+        index = self._index
+        buffer = self._buffer
+        if index + count > len(buffer):
+            buffer = buffer[index:] + self.generator.random(self.BLOCK).tolist()
+            self._buffer = buffer
+            index = 0
+        self._index = index + count
+        return buffer[index : index + count]
+
+    def next_float(self) -> float:
+        """The stream's single next uniform (the scalar hot-path entry point)."""
+        index = self._index
+        buffer = self._buffer
+        if index >= len(buffer):
+            buffer = self.generator.random(self.BLOCK).tolist()
+            self._buffer = buffer
+            index = 0
+        self._index = index + 1
+        return buffer[index]

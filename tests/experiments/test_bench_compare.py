@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.experiments.bench import compare_reports, load_report
+from repro.experiments.bench import compare_reports, compare_reports_data, load_report
 
 
 def report(revision, cases, dispatch=()):
@@ -66,6 +66,45 @@ class TestCompareReports:
         assert regressions == []
         assert "only in baseline" in text and "only in current" in text
 
+    def test_differing_case_sets_report_symmetric_difference(self):
+        """Renamed cases: intersection compared, difference summarised."""
+        base = report(
+            "aaa", [("line/D", 100_000, 2.0), ("line-clear/D", 100_000, 2.0)]
+        )
+        cur = report(
+            "bbb", [("line5/D", 90_000, 2.0), ("line-clear/D", 40_000, 2.0)]
+        )
+        text, regressions = compare_reports(base, cur, threshold_pct=5.0)
+        # Only the common case gates; the renamed pair is reported, not compared.
+        assert regressions == ["line-clear/D"]
+        assert "case sets differ" in text
+        assert "only in baseline: line/D" in text
+        assert "only in current: line5/D" in text
+
+    def test_cases_without_name_field_fall_back_to_family_scheme(self):
+        """Old-schema reports (no ``name`` key) must not crash compare."""
+        base = report("aaa", [("line/D", 100_000, 2.0)])
+        for case in base["cases"]:
+            del case["name"]
+        cur = report("bbb", [("line/D", 50_000, 2.0)])
+        text, regressions = compare_reports(base, cur, threshold_pct=10.0)
+        assert regressions == ["line/D"]
+        assert "REGRESSION" in text
+
+    def test_structured_diff_payload(self):
+        base = report("aaa", [("line/D", 100_000, 2.0), ("gone/D", 1.0, 2.0)])
+        cur = report("bbb", [("line/D", 50_000, 2.0), ("new/D", 1.0, 2.0)])
+        data = compare_reports_data(base, cur, threshold_pct=10.0)
+        assert data["baseline_revision"] == "aaa"
+        assert data["current_revision"] == "bbb"
+        assert data["only_in_baseline"] == ["gone/D"]
+        assert data["only_in_current"] == ["new/D"]
+        assert data["regressions"] == ["line/D"]
+        (row,) = data["cases"]
+        assert row["name"] == "line/D"
+        assert row["status"] == "regression"
+        assert row["delta_pct"] == -50.0
+
 
 class TestCompareCli:
     def _write(self, tmp_path, name, payload):
@@ -118,6 +157,24 @@ class TestCompareCli:
         good = self._write(tmp_path, "b.json", report("bbb", [("line/D", 1.0, 2.0)]))
         assert main(["bench", "compare", str(bad), good]) == 2
         assert "malformed report" in capsys.readouterr().err
+
+    def test_json_output_for_ci(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        a = self._write(tmp_path, "a.json", report("aaa", [("line/D", 100_000, 2.0)]))
+        b = self._write(tmp_path, "b.json", report("bbb", [("line/D", 50_000, 2.0)]))
+        assert main(["bench", "compare", a, b, "--threshold", "10", "--json"]) == 4
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["regressions"] == ["line/D"]
+        assert payload["cases"][0]["status"] == "regression"
+
+    def test_json_output_exit_zero_without_regression(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        a = self._write(tmp_path, "a.json", report("aaa", [("line/D", 100_000, 2.0)]))
+        b = self._write(tmp_path, "b.json", report("bbb", [("line/D", 99_000, 2.0)]))
+        assert main(["bench", "compare", a, b, "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["regressions"] == []
 
     def test_load_report_reads_written_json(self, tmp_path):
         payload = report("aaa", [("line/D", 1.0, 2.0)])

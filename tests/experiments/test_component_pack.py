@@ -84,8 +84,10 @@ class TestBitIdentity:
 
 
 class TestCacheSchema:
-    def test_schema_version_bumped_for_the_component_pack(self):
-        assert CACHE_SCHEMA_VERSION == 4
+    def test_schema_version_at_least_the_component_pack_bump(self):
+        # The pack bumped the layout to 4; later PRs may bump further (the
+        # exact current value is pinned in tests/experiments/test_parallel.py).
+        assert CACHE_SCHEMA_VERSION >= 4
 
     def test_digest_covers_propagation_model_and_params(self):
         base = dict(topology=line_topology(3), duration_s=0.05, seed=3)

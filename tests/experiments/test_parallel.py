@@ -48,6 +48,34 @@ class TestConfigDigest:
         assert config_digest(rebuilt) == config_digest(config)
 
 
+class TestCacheSchemaVersion:
+    """Schema bumps must actually reach the digest (cache-soundness)."""
+
+    def test_version_pinned_to_counter_rng_bump(self):
+        # 5 = counter-based (Philox) RNG streams: every draw value changed,
+        # so schema-4 results describe different sample paths and must not
+        # be served from the cache.  Bump this pin together with the
+        # constant — never adjust the pin alone.
+        import repro.experiments.parallel as parallel
+
+        assert parallel.CACHE_SCHEMA_VERSION == 5
+
+    def test_digest_incorporates_schema_version(self, monkeypatch):
+        """An old-schema digest must differ for the *same* config.
+
+        This is the regression guard for the bump itself: if someone bumps
+        the constant but the digest stops covering it (refactor drops the
+        field, renames it, or hardcodes a literal), cached pre-bump results
+        would silently satisfy post-bump lookups.
+        """
+        import repro.experiments.parallel as parallel
+
+        config = small_config()
+        current = config_digest(config)
+        monkeypatch.setattr(parallel, "CACHE_SCHEMA_VERSION", 4)
+        assert config_digest(config) != current
+
+
 class TestSerializationRoundTrip:
     def test_scenario_result_roundtrip_is_lossless(self):
         result = run_scenario(small_config())

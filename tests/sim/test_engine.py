@@ -287,3 +287,147 @@ class TestTupleSlotsRepresentation:
         assert event.args == () and event.on_cancel is None
         event.cancel()  # no on_cancel hook: must not raise
         assert event.cancelled
+
+
+class NoFreelistSimulator(Simulator):
+    """Reference engine: every Event is a fresh allocation (no recycling)."""
+
+    FREELIST_MAX = 0
+
+
+class TestEventFreelist:
+    """Event recycling: a recycled handle must be indistinguishable from new."""
+
+    def test_fired_event_is_recycled_with_fresh_state(self):
+        sim = Simulator()
+        fired = []
+        old = sim.schedule(10, fired.append, "old")
+        sim.run()
+        new = sim.schedule(10, fired.append, "new")
+        assert new is old  # the pool actually recycled the object
+        assert new.active and new.args == ("new",)
+        sim.run()
+        assert fired == ["old", "new"]
+
+    def test_cancelled_then_recycled_event_never_fires_old_callback(self):
+        sim = Simulator()
+        fired = []
+        old = sim.schedule(10, fired.append, "stale")
+        old.cancel()
+        sim.run()  # consumes the dead heap entry -> Event returns to the pool
+        reused = sim.schedule(5, fired.append, "fresh")
+        assert reused is old
+        sim.run()
+        assert fired == ["fresh"]
+
+    def test_recycling_waits_for_the_heap_entry_not_the_cancel(self):
+        # cancel() must NOT return the Event to the pool: its heap entry is
+        # still queued, and recycling it early would let a new timer alias
+        # the dead entry.  The object may only come back once run() (or
+        # compaction) has consumed the entry.
+        sim = Simulator()
+        old = sim.schedule(10, lambda: None)
+        old.cancel()
+        fresh = sim.schedule(20, lambda: None)  # pool still empty here
+        assert fresh is not old
+        sim.run()
+        recycled = sim.schedule(30, lambda: None)
+        assert recycled is old or recycled is fresh
+
+    def test_on_cancel_runs_exactly_once(self):
+        calls = []
+        event = Event(5, 0, lambda: None, on_cancel=lambda: calls.append(1))
+        event.cancel()
+        event.cancel()  # double-cancel is a no-op
+        assert calls == [1]
+
+    def test_simulator_cancel_accounting_once_per_event(self):
+        sim = Simulator()
+        handle = sim.schedule(10, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert sim.cancelled_pending_events == 1
+
+    def test_cancel_after_fire_does_not_disturb_accounting(self):
+        sim = Simulator()
+        handle = sim.schedule(10, lambda: None)
+        sim.run()
+        handle.cancel()  # stale handle
+        assert sim.cancelled_pending_events == 0
+
+    def test_compaction_feeds_the_freelist(self):
+        sim = Simulator()
+        handles = [sim.schedule(100 + i, lambda: None) for i in range(200)]
+        for handle in handles:
+            handle.cancel()  # crossing the 50% threshold triggers _compact
+        assert sim.pending_events < 200
+        fresh = sim.schedule(5, lambda: None)
+        assert fresh in handles  # compaction recycled the dropped Events
+
+    def test_freelist_is_bounded(self):
+        sim = Simulator()
+        for i in range(Simulator.FREELIST_MAX + 500):
+            sim.schedule(i, lambda: None)
+        sim.run()
+        assert len(sim._free) <= Simulator.FREELIST_MAX
+
+    def test_no_freelist_subclass_always_allocates(self):
+        sim = NoFreelistSimulator()
+        old = sim.schedule(10, lambda: None)
+        sim.run()
+        assert sim.schedule(10, lambda: None) is not old
+
+
+class TestSignalFastPath:
+    """The four-tuple signal entries: fixed shape, no Event, never cancelled."""
+
+    def test_schedule_signal_fires_with_payload(self):
+        sim = Simulator()
+        got = []
+        sim.schedule_signal(50, got.append, "payload")
+        sim.run()
+        assert got == ["payload"]
+        assert (sim.now, sim.processed_events) == (50, 1)
+
+    def test_schedule_window_fires_open_then_close(self):
+        sim = Simulator()
+        log = []
+        sim.schedule_window(10, 30, lambda p: log.append(("open", p, sim.now)),
+                            lambda p: log.append(("close", p, sim.now)), "rx")
+        sim.run()
+        assert log == [("open", "rx", 10), ("close", "rx", 30)]
+
+    def test_signal_entries_interleave_deterministically_with_events(self):
+        # Same timestamp: scheduling order decides, regardless of entry shape.
+        sim = Simulator()
+        log = []
+        sim.schedule(10, log.append, "event-first")
+        sim.schedule_signal(10, log.append, "signal-second")
+        sim.schedule(10, log.append, "event-third")
+        sim.run()
+        assert log == ["event-first", "signal-second", "event-third"]
+
+    def test_window_entries_survive_compaction(self):
+        sim = Simulator()
+        log = []
+        sim.schedule_window(500, 600, log.append, log.append, "kept")
+        doomed = [sim.schedule(100 + i, lambda: None) for i in range(100)]
+        for handle in doomed:
+            handle.cancel()  # triggers compaction around the 4-tuples
+        sim.run()
+        assert log == ["kept", "kept"]
+
+
+class TestFreelistDeterminism:
+    """Recycling must not perturb the simulation: slab == no-freelist, bit for bit."""
+
+    def test_full_scenario_identical_with_and_without_freelist(self, monkeypatch):
+        import repro.topology.network as network
+        from repro.experiments.runner import ScenarioConfig, run_scenario
+        from repro.topology.standard import line_topology
+
+        config = ScenarioConfig(topology=line_topology(4), duration_s=0.05, seed=3)
+        slab = run_scenario(config).to_dict()
+        monkeypatch.setattr(network, "Simulator", NoFreelistSimulator)
+        reference = run_scenario(config).to_dict()
+        assert slab == reference

@@ -94,3 +94,59 @@ class TestKeyedStreams:
         assert list(streams.stream_for("s", 1, 2).random(4)) != list(
             streams.stream_for("s", 2, 1).random(4)
         )
+
+
+class TestPhiloxBatching:
+    """Counter-based streams: batching is a pure optimisation, never a reseed.
+
+    The channel batches fade draws (``standard_normal(n)``) and bit-error
+    draws (``random(n)``) per sender; these tests pin the numpy contract
+    the batching relies on — a vectorised draw consumes the Philox counter
+    stream exactly like n scalar draws — plus the keying properties that
+    make per-link batches independent of each other.
+    """
+
+    def test_streams_are_counter_based_philox(self):
+        stream = RandomStreams(seed=1).stream("shadowing")
+        assert type(stream.bit_generator).__name__ == "Philox"
+
+    def test_standard_normal_batch_equals_scalar_draws(self):
+        batched = RandomStreams(seed=6).stream_for("fading", 1, 2)
+        scalar = RandomStreams(seed=6).stream_for("fading", 1, 2)
+        assert list(batched.standard_normal(16)) == [
+            scalar.standard_normal() for _ in range(16)
+        ]
+
+    def test_uniform_batch_equals_scalar_draws(self):
+        batched = RandomStreams(seed=6).stream_for("biterror", 1, 2)
+        scalar = RandomStreams(seed=6).stream_for("biterror", 1, 2)
+        assert list(batched.random(16)) == [scalar.random() for _ in range(16)]
+
+    def test_batch_boundaries_do_not_move_the_sample_path(self):
+        # Splitting one batch into several must reproduce the same sequence:
+        # the dispatch plan's refill size is a tuning knob, not a semantic.
+        one = RandomStreams(seed=9).stream_for("fading", 0, 3)
+        split = RandomStreams(seed=9).stream_for("fading", 0, 3)
+        whole = list(one.standard_normal(24))
+        parts = list(split.standard_normal(5)) + list(split.standard_normal(19))
+        assert whole == parts
+
+    def test_keyed_streams_independent_of_registration_order(self):
+        forward = RandomStreams(seed=4)
+        for key in range(6):
+            forward.stream_for("fading", key)
+        backward = RandomStreams(seed=4)
+        for key in reversed(range(6)):
+            backward.stream_for("fading", key)
+        for key in range(6):
+            assert list(forward.stream_for("fading", key).random(4)) == list(
+                backward.stream_for("fading", key).random(4)
+            )
+
+    def test_name_and_keys_cannot_collide_by_concatenation(self):
+        # The key material length-prefixes the stream name, so a name that
+        # swallows part of the key list maps to a different Philox key.
+        streams = RandomStreams(seed=2)
+        assert list(streams.stream_for("s", 11).random(4)) != list(
+            streams.stream_for("s1", 1).random(4)
+        )
