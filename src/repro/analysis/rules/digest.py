@@ -40,6 +40,7 @@ DIGEST_CLASSES: Tuple[str, ...] = (
     "repro.spec.MacSpec",
     "repro.spec.RoutingSpec",
     "repro.spec.TrafficSpec",
+    "repro.spec.TransportSpec",
     "repro.spec.TopologyRef",
     "repro.spec.ScenarioSpec",
     "repro.topology.spec.TopologySpec",

@@ -25,6 +25,7 @@ COMPONENT_REGISTRIES: Tuple[Tuple[str, str], ...] = (
     ("repro.mac.registry", "MAC_SCHEMES"),
     ("repro.routing.registry", "ROUTING_STRATEGIES"),
     ("repro.traffic.registry", "TRAFFIC_KINDS"),
+    ("repro.transport.registry", "TRANSPORT_SCHEMES"),
     ("repro.topology.registry", "TOPOLOGIES"),
     ("repro.mobility.models", "MOBILITY_MODELS"),
     ("repro.phy.registry", "PROPAGATION_MODELS"),

@@ -74,15 +74,18 @@ class SlotsOnHotPath(SourceRule):
     """Classes in the event-loop modules must declare ``__slots__``.
 
     Scoped to ``sim/engine.py``, ``sim/rng.py``, ``phy/radio.py``,
-    ``phy/channel.py``, ``phy/error_models.py`` and ``packet.py`` — the
-    modules whose instances are allocated per event, per reception, per
-    decoded frame or per packet (``sim/rng.py`` and ``error_models.py``
-    joined the list with the PR-8 slab/batched-RNG refactor: the per-link
-    uniform buffers and per-frame error results live there).  A plain
-    ``__slots__`` tuple or ``@dataclass(slots=True)`` both satisfy the
-    rule; ``Enum``, exception and ``Protocol`` classes are exempt (their
-    metaclasses manage storage).  This protects the PR-3 allocation wins
-    from silently regressing when a helper class lands in a hot module.
+    ``phy/channel.py``, ``phy/error_models.py``, ``packet.py`` and the
+    ``transport/`` package — the modules whose instances are allocated
+    (or whose attributes are chased) per event, per reception, per
+    decoded frame, per packet or per ACK (``sim/rng.py`` and
+    ``error_models.py`` joined the list with the PR-8 slab/batched-RNG
+    refactor; ``transport/`` joined with the congestion-control registry:
+    segments, ACKs and controller state are touched on every delivery).
+    A plain ``__slots__`` tuple or ``@dataclass(slots=True)`` both
+    satisfy the rule; ``Enum``, exception and ``Protocol`` classes are
+    exempt (their metaclasses manage storage).  This protects the PR-3
+    allocation wins from silently regressing when a helper class lands
+    in a hot module.
     """
 
     id = "slots-on-hot-path"
@@ -94,6 +97,11 @@ class SlotsOnHotPath(SourceRule):
         "repro/phy/channel.py",
         "repro/phy/error_models.py",
         "repro/packet.py",
+        "repro/transport/congestion.py",
+        "repro/transport/dropscript.py",
+        "repro/transport/host.py",
+        "repro/transport/tcp.py",
+        "repro/transport/udp.py",
     )
 
     def checker(self, ctx: ModuleContext) -> "_SlotsChecker":

@@ -147,6 +147,7 @@ def registry_sections() -> List[RegistrySection]:
     from repro.routing.registry import ROUTING_STRATEGIES
     from repro.topology.registry import TOPOLOGIES
     from repro.traffic.registry import TRAFFIC_KINDS
+    from repro.transport.registry import TRANSPORT_SCHEMES
 
     return [
         RegistrySection(
@@ -186,6 +187,18 @@ def registry_sections() -> List[RegistrySection]:
                 "The default traffic spec `\"flows\"` is not a registry entry: it means "
                 "\"drive each flow according to its own `FlowSpec.kind`\"; naming a "
                 "kind re-flavours every active flow."
+            ),
+        ),
+        RegistrySection(
+            title="Transport schemes",
+            registry_path="repro.transport.registry.TRANSPORT_SCHEMES",
+            set_key="transport",
+            rows=_plain_rows(TRANSPORT_SCHEMES, skip=0),
+            note=(
+                "Congestion control for TCP-backed flows. The default (no "
+                "`transport=`) is `reno`, bit-identical to pre-registry runs. "
+                "A `FlowSpec.transport` name overrides per flow; "
+                "`--set traffic.transport=<name>` overrides both."
             ),
         ),
         RegistrySection(

@@ -241,6 +241,28 @@ def _render_fading(runner, duration_s, seed):
     )
 
 
+def _render_congestion(runner, duration_s, seed):
+    from repro.experiments.congestion import run_congestion
+
+    blocks = []
+    for topology in ("line", "roofnet"):
+        result = run_congestion(
+            topology=topology, seed=seed, runner=runner, **_duration_kwargs(duration_s)
+        )
+        throughput = render_panel(
+            f"Congestion — flow-1 Mb/s per transport ({topology})",
+            result.throughput_mbps,
+            list(next(iter(result.throughput_mbps.values()))),
+        )
+        rexmit = render_panel(
+            f"Congestion — flow-1 retransmitted segments ({topology})",
+            {t: {k: float(v) for k, v in row.items()} for t, row in result.retransmissions.items()},
+            list(next(iter(result.retransmissions.values()))),
+        )
+        blocks.extend([throughput, rexmit])
+    return "\n\n".join(blocks)
+
+
 def _render_forwarders(runner, duration_s, seed):
     from repro.experiments.ablation import run_forwarder_ablation
 
@@ -272,6 +294,7 @@ EXPERIMENTS: Dict[str, Experiment] = {
         Experiment("mobility-tcp", "TCP throughput vs node speed (random waypoint)", _render_mobility_tcp),
         Experiment("mobility-voip", "VoIP MoS vs node speed (random waypoint)", _render_mobility_voip),
         Experiment("fading", "D/R16 line throughput per propagation model", _render_fading),
+        Experiment("congestion", "Transport x MAC grid (reno/tahoe/newreno/cubic)", _render_congestion),
     ]
 }
 
@@ -290,7 +313,7 @@ _SET_FIELD_ALIASES = {
 }
 
 #: ``--set`` keys addressing a component by name (dotted keys = params).
-_SET_COMPONENTS = ("topology", "mac", "routing", "traffic", "mobility", "phy")
+_SET_COMPONENTS = ("topology", "mac", "routing", "traffic", "transport", "mobility", "phy")
 
 
 def _parse_set_value(text: str):
@@ -403,7 +426,7 @@ def _apply_sets(data: Dict[str, object], items: List[str]) -> Dict[str, object]:
             entry["params"] = params
             entry.setdefault("name", None)
             data[component] = entry
-    for component in ("mac", "routing", "traffic", "topology"):
+    for component in ("mac", "routing", "traffic", "transport", "topology"):
         entry = data.get(component)
         if not isinstance(entry, dict) or "positions" in entry or set(entry) == {"ref"}:
             continue  # absent, inline topology, or untouched wrapped ref
@@ -450,6 +473,8 @@ def _describe_spec(spec, config) -> str:
         f"routing={routing.name}",
         f"traffic={traffic.name}",
     ]
+    if config.transport is not None:
+        parts.append(f"transport={config.resolved_transport().name}")
     if spec.mobility is not None:
         parts.append(f"mobility={spec.mobility.model}")
     parts.append(f"duration={config.duration_s:g}s")
@@ -457,17 +482,24 @@ def _describe_spec(spec, config) -> str:
 
 
 def _render_spec_result(result) -> str:
-    lines = [f"{'flow':>4} {'kind':<6} {'Mb/s':>8} {'recv':>7} {'MoS':>5}"]
+    lines = [
+        f"{'flow':>4} {'kind':<6} {'Mb/s':>8} {'recv':>7} "
+        f"{'rexmit':>7} {'fastRT':>7} {'RTO':>4} {'MoS':>5}"
+    ]
     for flow in result.flows:
         quality = result.voip_quality.get(flow.flow_id)
         mos = f"{quality.mos:5.2f}" if quality is not None else "    -"
         lines.append(
             f"{flow.flow_id:>4} {flow.kind:<6} {flow.throughput_mbps:>8.2f} "
-            f"{flow.packets_received:>7} {mos}"
+            f"{flow.packets_received:>7} {flow.retransmissions:>7} "
+            f"{flow.fast_retransmits:>7} {flow.timeouts:>4} {mos}"
         )
     for flow_id, quality in sorted(result.voip_quality.items()):
         if not any(flow.flow_id == flow_id for flow in result.flows):
-            lines.append(f"{flow_id:>4} {'voip':<6} {'-':>8} {'-':>7} {quality.mos:5.2f}")
+            lines.append(
+                f"{flow_id:>4} {'voip':<6} {'-':>8} {'-':>7} "
+                f"{'-':>7} {'-':>7} {'-':>4} {quality.mos:5.2f}"
+            )
     lines.append(
         f"total TCP Mb/s: {result.total_throughput_mbps:.2f}   "
         f"events: {result.events_processed}"
@@ -610,12 +642,13 @@ def _print_component_registries() -> None:
     from repro.routing.registry import ROUTING_STRATEGIES
     from repro.topology.registry import TOPOLOGIES
     from repro.traffic.registry import TRAFFIC_KINDS
+    from repro.transport.registry import TRANSPORT_SCHEMES
 
     print("\ncomponent registries (compose freely with run --set; "
           "full reference: docs/COMPONENTS.md or 'list --markdown'):")
     registries = (
         TOPOLOGIES, MAC_SCHEMES, ROUTING_STRATEGIES, TRAFFIC_KINDS,
-        MOBILITY_MODELS, PROPAGATION_MODELS,
+        TRANSPORT_SCHEMES, MOBILITY_MODELS, PROPAGATION_MODELS,
     )
     for registry in registries:
         print(f"  {registry.kind + ':':<18} {', '.join(registry.known_names())}")

@@ -156,12 +156,22 @@ def _family_configs(duration_s: float, seed: int) -> Dict[str, ScenarioConfig]:
     The mix is chosen to stress different parts of the hot path: the line
     topologies are relay-pipeline bound, Roofnet is the large-N dispatch
     stressor (38 stations, 6 concurrent TCP flows), Wigle adds hidden
-    terminals, and the mobility run adds per-tick geometry invalidation
-    and live re-estimation on top.
+    terminals, the mobility run adds per-tick geometry invalidation
+    and live re-estimation on top, and line-cubic swaps the congestion
+    controller so the per-ACK cubic-curve arithmetic is timed too.
     """
+    from repro.spec import TransportSpec
+
     return {
         "line-clear": ScenarioConfig(
             topology=line_topology(5),
+            bit_error_rate=1e-6,
+            duration_s=duration_s,
+            seed=seed,
+        ),
+        "line-cubic": ScenarioConfig(
+            topology=line_topology(5),
+            transport=TransportSpec("cubic"),
             bit_error_rate=1e-6,
             duration_s=duration_s,
             seed=seed,
@@ -224,7 +234,7 @@ def default_cases(
 #: duration sized so a CI runner finishes in roughly ten seconds while the
 #: large-N dispatch path (Roofnet) is still exercised.
 QUICK_DURATION_S = 0.08
-QUICK_FAMILIES: Sequence[str] = ("line-clear", "roofnet")
+QUICK_FAMILIES: Sequence[str] = ("line-clear", "line-cubic", "roofnet")
 QUICK_SCHEMES: Sequence[str] = ("D", "R16")
 
 

@@ -74,8 +74,13 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 #: component parameters those layouts could not express;
 #: 5 = counter-based (Philox) RNG streams — every draw value changed, so a
 #: schema-4 result describes a different sample path than a schema-5 run of
-#: the same config and must never be reused.
-CACHE_SCHEMA_VERSION = 5
+#: the same config and must never be reused;
+#: 6 = transport registry: result payloads gained per-flow transport
+#: counters (``retransmissions``/``fast_retransmits``/``timeouts``/
+#: ``rto_backoffs`` and TCP ``packets_sent``), which schema-5 entries lack —
+#: config digests for default-transport scenarios are otherwise unchanged
+#: (an absent/``reno`` transport serializes to the pre-registry layout).
+CACHE_SCHEMA_VERSION = 6
 
 
 def config_digest(config: ScenarioConfig) -> str:

@@ -47,7 +47,7 @@ from repro.phy.params import PhyParams
 from repro.routing.dynamic import AdaptiveEtxRouting
 from repro.serialization import require_known_keys
 from repro.sim.units import seconds
-from repro.spec import MacSpec, RoutingSpec, TrafficSpec
+from repro.spec import MacSpec, RoutingSpec, TrafficSpec, TransportSpec
 from repro.topology.network import WirelessNetwork
 from repro.topology.spec import FlowSpec, TopologySpec
 
@@ -67,6 +67,9 @@ DEFAULT_SCHEME_LABELS: Tuple[str, ...] = ("S", "D", "R1", "A", "R16")
 
 #: The traffic spec meaning "each flow keeps its own FlowSpec.kind".
 PER_FLOW_TRAFFIC = TrafficSpec("flows")
+
+#: The transport spec an absent ``transport=`` resolves to (the seed's Reno).
+DEFAULT_TRANSPORT_SPEC = TransportSpec("reno")
 
 
 def resolve_scheme(scheme_label: str, default_route_set: str) -> Tuple[str, str]:
@@ -117,6 +120,9 @@ class ScenarioConfig:
     mac: Optional[MacSpec] = None
     routing: Optional[RoutingSpec] = None
     traffic: Optional[TrafficSpec] = None
+    #: Congestion control for TCP-backed flows; None means the default
+    #: ``reno`` (the seed's machine — runs and digests stay bit-identical).
+    transport: Optional[TransportSpec] = None
 
     # ------------------------------------------------------------------
     # Component resolution (the registry-facing view)
@@ -129,6 +135,10 @@ class ScenarioConfig:
             (self.routing or routing_default).canonical(),
             (self.traffic or PER_FLOW_TRAFFIC).canonical(),
         )
+
+    def resolved_transport(self) -> TransportSpec:
+        """The transport spec this config installs (``reno`` when unset)."""
+        return (self.transport or DEFAULT_TRANSPORT_SPEC).canonical()
 
     def canonical_scheme_label(self) -> Optional[str]:
         """The figure label equivalent to this config's components, if any.
@@ -188,13 +198,19 @@ class ScenarioConfig:
             data["traffic"] = traffic.to_dict()
         else:
             data["scheme_label"] = label
+        transport = self.resolved_transport()
+        if transport != DEFAULT_TRANSPORT_SPEC:
+            # Only a non-default transport appears in the hashed form: the
+            # default (and an explicit parameter-free "reno") canonicalize
+            # to absence, keeping every pre-registry digest unchanged.
+            data["transport"] = transport.to_dict()
         return data
 
     _FIELDS = (
         "topology", "scheme_label", "route_set", "active_flows",
         "bit_error_rate", "duration_s", "warmup_s", "seed", "phy",
         "tcp_window", "max_forwarders", "max_aggregation", "mobility",
-        "mac", "routing", "traffic",
+        "mac", "routing", "traffic", "transport",
     )
 
     @classmethod
@@ -207,6 +223,7 @@ class ScenarioConfig:
         mac = data.get("mac")
         routing = data.get("routing")
         traffic = data.get("traffic")
+        transport = data.get("transport")
         scheme_label = data.get("scheme_label", "D")
         return cls(
             topology=TopologySpec.from_dict(data["topology"]),
@@ -225,6 +242,7 @@ class ScenarioConfig:
             mac=None if mac is None else MacSpec.from_dict(mac),
             routing=None if routing is None else RoutingSpec.from_dict(routing),
             traffic=None if traffic is None else TrafficSpec.from_dict(traffic),
+            transport=None if transport is None else TransportSpec.from_dict(transport),
         )
 
 

@@ -7,7 +7,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.serialization import require_known_keys
 from repro.sim.units import ns_to_seconds
-from repro.transport.tcp import TcpSink
+from repro.transport.tcp import TcpSender, TcpSink
 from repro.transport.udp import UdpReceiver
 
 
@@ -25,6 +25,11 @@ class FlowResult:
     reordered: int = 0
     duplicates: int = 0
     mean_delay_ms: float = 0.0
+    #: Transport-layer recovery counters (TCP flows; zero for UDP kinds).
+    retransmissions: int = 0
+    fast_retransmits: int = 0
+    timeouts: int = 0
+    rto_backoffs: int = 0
     extra: Dict[str, float] = field(default_factory=dict)
 
     @property
@@ -51,16 +56,25 @@ class FlowResult:
             reordered=int(data.get("reordered", 0)),
             duplicates=int(data.get("duplicates", 0)),
             mean_delay_ms=float(data.get("mean_delay_ms", 0.0)),
+            retransmissions=int(data.get("retransmissions", 0)),
+            fast_retransmits=int(data.get("fast_retransmits", 0)),
+            timeouts=int(data.get("timeouts", 0)),
+            rto_backoffs=int(data.get("rto_backoffs", 0)),
             extra=dict(data.get("extra", {})),
         )
 
 
 def summarize_tcp_flow(
-    flow_id: int, src: int, dst: int, sink: TcpSink, duration_ns: int
+    flow_id: int,
+    src: int,
+    dst: int,
+    sink: TcpSink,
+    duration_ns: int,
+    sender: Optional[TcpSender] = None,
 ) -> FlowResult:
-    """Build a :class:`FlowResult` from a TCP sink's counters."""
+    """Build a :class:`FlowResult` from a TCP sink's (and sender's) counters."""
     throughput = sink.goodput_bps(duration_ns) / 1e6
-    return FlowResult(
+    result = FlowResult(
         flow_id=flow_id,
         kind="tcp",
         src=src,
@@ -70,6 +84,13 @@ def summarize_tcp_flow(
         reordered=sink.stats.reordered_segments,
         duplicates=sink.stats.duplicate_segments,
     )
+    if sender is not None:
+        result.packets_sent = sender.stats.segments_sent
+        result.retransmissions = sender.stats.retransmissions
+        result.fast_retransmits = sender.stats.fast_retransmits
+        result.timeouts = sender.stats.timeouts
+        result.rto_backoffs = sender.stats.rto_backoffs
+    return result
 
 
 def summarize_udp_flow(

@@ -192,6 +192,26 @@ class TrafficSpec(_ComponentSpec):
 
 
 @dataclass(frozen=True, eq=False)
+class TransportSpec(_ComponentSpec):
+    """One congestion-control scheme by registered name (+ controller params).
+
+    Resolves in :data:`repro.transport.registry.TRANSPORT_SCHEMES`
+    (``reno``, ``tahoe``, ``newreno``, ``cubic``).  The default — absent
+    spec — is ``reno``, the seed's machine, and an explicit parameter-free
+    ``reno`` canonicalizes back to the absent form so both address the
+    same sweep-cache digest.
+    """
+
+    KIND = "transport"
+
+    @classmethod
+    def _registry(cls):
+        from repro.transport.registry import TRANSPORT_SCHEMES
+
+        return TRANSPORT_SCHEMES
+
+
+@dataclass(frozen=True, eq=False)
 class TopologyRef(_ComponentSpec):
     """A named topology builder plus its parameters.
 
@@ -260,6 +280,7 @@ class ScenarioSpec:
     mac: Optional[MacSpec] = None
     routing: Optional[RoutingSpec] = None
     traffic: Optional[TrafficSpec] = None
+    transport: Optional[TransportSpec] = None
     mobility: Optional[MobilitySpec] = None
     route_set: str = "ROUTE0"
     active_flows: Optional[List[int]] = None
@@ -289,6 +310,7 @@ class ScenarioSpec:
             mac=self.mac,
             routing=self.routing,
             traffic=self.traffic,
+            transport=self.transport,
             mobility=self.mobility,
             route_set=self.route_set,
             active_flows=None if self.active_flows is None else list(self.active_flows),
@@ -318,6 +340,7 @@ class ScenarioSpec:
             "mac": None if self.mac is None else self.mac.to_dict(),
             "routing": None if self.routing is None else self.routing.to_dict(),
             "traffic": None if self.traffic is None else self.traffic.to_dict(),
+            "transport": None if self.transport is None else self.transport.to_dict(),
             "mobility": None if self.mobility is None else self.mobility.to_dict(),
             "route_set": self.route_set,
             "active_flows": None if self.active_flows is None else list(self.active_flows),
@@ -332,10 +355,10 @@ class ScenarioSpec:
         }
 
     _FIELDS = (
-        "topology", "scheme_label", "mac", "routing", "traffic", "mobility",
-        "route_set", "active_flows", "bit_error_rate", "duration_s",
-        "warmup_s", "seed", "phy", "tcp_window", "max_forwarders",
-        "max_aggregation",
+        "topology", "scheme_label", "mac", "routing", "traffic", "transport",
+        "mobility", "route_set", "active_flows", "bit_error_rate",
+        "duration_s", "warmup_s", "seed", "phy", "tcp_window",
+        "max_forwarders", "max_aggregation",
     )
 
     @classmethod
@@ -356,6 +379,7 @@ class ScenarioSpec:
         mac = data.get("mac")
         routing = data.get("routing")
         traffic = data.get("traffic")
+        transport = data.get("transport")
         mobility = data.get("mobility")
         active = data.get("active_flows")
         max_aggregation = data.get("max_aggregation")
@@ -365,6 +389,7 @@ class ScenarioSpec:
             mac=None if mac is None else MacSpec.from_dict(mac),
             routing=None if routing is None else RoutingSpec.from_dict(routing),
             traffic=None if traffic is None else TrafficSpec.from_dict(traffic),
+            transport=None if transport is None else TransportSpec.from_dict(transport),
             mobility=None if mobility is None else MobilitySpec.from_dict(mobility),
             route_set=str(data.get("route_set", "ROUTE0")),
             active_flows=None if active is None else [int(f) for f in active],

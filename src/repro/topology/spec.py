@@ -30,26 +30,38 @@ class FlowSpec:
     dst: int
     kind: str = "tcp"  # "tcp" | "udp-saturating" | "voip" | "web"
     label: str = ""
+    #: Per-flow congestion-control override (a TRANSPORT_SCHEMES name);
+    #: None defers to the scenario-level TransportSpec (default: reno).
+    transport: Optional[str] = None
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-safe representation (used by the sweep cache)."""
-        return {
+        data: Dict[str, object] = {
             "flow_id": self.flow_id,
             "src": self.src,
             "dst": self.dst,
             "kind": self.kind,
             "label": self.label,
         }
+        if self.transport is not None:
+            # Emitted only when set, so pre-existing topology digests
+            # (which never carried the key) are unchanged.
+            data["transport"] = self.transport
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "FlowSpec":
-        require_known_keys(data, ("flow_id", "src", "dst", "kind", "label"), cls.__name__)
+        require_known_keys(
+            data, ("flow_id", "src", "dst", "kind", "label", "transport"), cls.__name__
+        )
+        transport = data.get("transport")
         return cls(
             flow_id=int(data["flow_id"]),
             src=int(data["src"]),
             dst=int(data["dst"]),
             kind=str(data["kind"]),
             label=str(data.get("label", "")),
+            transport=None if transport is None else str(transport),
         )
 
 

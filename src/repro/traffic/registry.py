@@ -67,7 +67,9 @@ class _TcpDriver(FlowDriver):
 
     def summarize(self, duration_ns: int) -> FlowResult:
         flow = self.flow
-        return summarize_tcp_flow(flow.flow_id, flow.src, flow.dst, self.sink, duration_ns)
+        return summarize_tcp_flow(
+            flow.flow_id, flow.src, flow.dst, self.sink, duration_ns, sender=self.sender
+        )
 
 
 class _UdpDriver(FlowDriver):
@@ -101,16 +103,49 @@ class _VoipDriver(_UdpDriver):
         return self.voip.quality()
 
 
+def _controller_for(config, flow, override: Optional[str] = None):
+    """Resolve the congestion controller for one TCP-backed flow.
+
+    Precedence: an explicit traffic-kind param (``--set
+    traffic.transport=cubic``) beats the flow's own
+    :class:`~repro.topology.spec.FlowSpec.transport`, which beats the
+    scenario-level :class:`~repro.spec.TransportSpec`.  Returns None when
+    nothing is configured, so :class:`~repro.transport.tcp.TcpSender`
+    constructs its default Reno without touching the registry.
+    """
+    from repro.transport.registry import build_controller
+
+    name = override
+    params: dict = {}
+    if name is None:
+        name = getattr(flow, "transport", None)
+    if name is None:
+        spec = getattr(config, "transport", None)
+        if spec is None:
+            return None
+        name, params = spec.name, spec.params
+    return build_controller(str(name), **params)
+
+
 @register_traffic("tcp")
-def _install_tcp(network, config, flow, *, tcp_window: int = None) -> FlowDriver:
-    """A long-lived FTP transfer over TCP Reno (the paper's bulk flows)."""
+def _install_tcp(
+    network, config, flow, *, tcp_window: int = None, transport: str = None
+) -> FlowDriver:
+    """A long-lived FTP transfer over TCP (the paper's bulk flows; Reno default)."""
     from repro.traffic.ftp import FtpApplication
     from repro.transport.tcp import TcpSender, TcpSink
 
     window = config.tcp_window if tcp_window is None else int(tcp_window)
     src_host = network.node(flow.src).transport
     dst_host = network.node(flow.dst).transport
-    sender = TcpSender(network.sim, src_host, flow.flow_id, flow.dst, awnd_segments=window)
+    sender = TcpSender(
+        network.sim,
+        src_host,
+        flow.flow_id,
+        flow.dst,
+        awnd_segments=window,
+        controller=_controller_for(config, flow, transport),
+    )
     sink = TcpSink(network.sim, dst_host, flow.flow_id, peer=flow.src)
     app = FtpApplication(sender)
     app.start()
@@ -118,7 +153,9 @@ def _install_tcp(network, config, flow, *, tcp_window: int = None) -> FlowDriver
 
 
 @register_traffic("web")
-def _install_web(network, config, flow, *, tcp_window: int = None) -> FlowDriver:
+def _install_web(
+    network, config, flow, *, tcp_window: int = None, transport: str = None
+) -> FlowDriver:
     """ON/OFF web transfers: Pareto sizes separated by exponential think times."""
     from repro.traffic.web import WebFlow
     from repro.transport.tcp import TcpSender, TcpSink
@@ -126,7 +163,14 @@ def _install_web(network, config, flow, *, tcp_window: int = None) -> FlowDriver
     window = config.tcp_window if tcp_window is None else int(tcp_window)
     src_host = network.node(flow.src).transport
     dst_host = network.node(flow.dst).transport
-    sender = TcpSender(network.sim, src_host, flow.flow_id, flow.dst, awnd_segments=window)
+    sender = TcpSender(
+        network.sim,
+        src_host,
+        flow.flow_id,
+        flow.dst,
+        awnd_segments=window,
+        controller=_controller_for(config, flow, transport),
+    )
     sink = TcpSink(network.sim, dst_host, flow.flow_id, peer=flow.src)
     web = WebFlow(network.sim, sender, network.rng.stream_for("web", flow.flow_id))
     web.start()

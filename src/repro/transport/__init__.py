@@ -1,10 +1,26 @@
-"""Transport layer: TCP Reno, UDP and the per-node flow dispatcher."""
+"""Transport layer: pluggable TCP congestion control, UDP and the flow dispatcher."""
 
+from repro.transport.congestion import (
+    CongestionController,
+    CubicController,
+    NewRenoController,
+    RenoController,
+    TahoeController,
+)
+from repro.transport.dropscript import DropScript
 from repro.transport.host import TransportHost
+from repro.transport.registry import TRANSPORT_SCHEMES, build_controller
 from repro.transport.tcp import TcpAck, TcpSegment, TcpSender, TcpSink
 from repro.transport.udp import UdpDatagram, UdpReceiver, UdpSender
 
 __all__ = [
+    "CongestionController",
+    "CubicController",
+    "DropScript",
+    "NewRenoController",
+    "RenoController",
+    "TahoeController",
+    "TRANSPORT_SCHEMES",
     "TransportHost",
     "TcpAck",
     "TcpSegment",
@@ -13,4 +29,5 @@ __all__ = [
     "UdpDatagram",
     "UdpReceiver",
     "UdpSender",
+    "build_controller",
 ]

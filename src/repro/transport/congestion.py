@@ -1,0 +1,369 @@
+"""Pluggable TCP congestion control: the state machines behind the senders.
+
+The paper's central claim is that MAC-induced re-ordering, loss and delay
+interact with *TCP's congestion control* — yet which congestion control?
+The seed hard-coded one responder (the Reno-with-partial-ACK machine in
+:class:`~repro.transport.tcp.TcpSender`).  This module extracts that
+machine behind a :class:`CongestionController` seam and adds the classic
+alternatives, so "does RIPPLE's aggregation win survive Cubic?" becomes a
+runnable scenario instead of an open question.
+
+The seam is deliberately narrow.  A controller owns exactly the
+congestion state — ``cwnd``/``ssthresh`` in MSS-sized segments, the
+duplicate-ACK count, and the recovery marker — and is driven by three
+sender events:
+
+* :meth:`~CongestionController.on_ack` — a cumulative ACK advanced;
+  returns True when the sender should retransmit the next hole
+  (partial-ACK recovery);
+* :meth:`~CongestionController.on_dupack` — a duplicate ACK arrived
+  (the sender has already filtered zero-flight echoes); returns True
+  when the sender should fast-retransmit *now*;
+* :meth:`~CongestionController.on_timeout` — the retransmission timer
+  fired (the sender keeps RTO estimation, exponential backoff and
+  go-back-N resending to itself — those are timer mechanics, not
+  congestion policy).
+
+Everything a controller sees is simulation state (``now_ns`` is the
+event-loop clock, never the host's), so runs stay deterministic and
+cacheable; per-flow state is simply per-instance state, since every
+:class:`~repro.transport.tcp.TcpSender` owns one controller.
+
+:class:`RenoController` reproduces the seed machine bit-for-bit — same
+expressions, same branch order — which is what keeps default-transport
+scenario results byte-identical to pre-registry builds (tested in
+``tests/transport``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: Duplicate-ACK count that triggers fast retransmit (RFC 5681).
+DUPACK_THRESHOLD = 3
+
+
+class CongestionController:
+    """Base congestion-control state machine (segment-granular, like NS-2).
+
+    Subclasses override the three event hooks; the base class carries the
+    shared state and the ``attach`` handshake the sender performs at
+    construction time (``ssthresh`` starts at the advertised window, the
+    classic "slow start until the receiver limit" initialisation).
+    """
+
+    __slots__ = ("cwnd", "ssthresh", "dupacks", "in_recovery", "recover")
+
+    #: Registry name, set by subclasses (used in reprs and result labels).
+    name = "base"
+
+    def __init__(self) -> None:
+        self.cwnd = 1.0
+        self.ssthresh = float("inf")
+        self.dupacks = 0
+        self.in_recovery = False
+        self.recover = 0
+
+    def attach(self, awnd_segments: int, initial_cwnd: float) -> "CongestionController":
+        """Initialise the window state for one flow; returns self."""
+        self.cwnd = float(initial_cwnd)
+        self.ssthresh = float(awnd_segments)
+        self.dupacks = 0
+        self.in_recovery = False
+        self.recover = 0
+        return self
+
+    # ------------------------------------------------------------------
+    # Sender events
+    # ------------------------------------------------------------------
+    def on_ack(
+        self,
+        ack: int,
+        newly_acked: int,
+        flight_size: int,
+        now_ns: int,
+        srtt_ns: Optional[int],
+    ) -> bool:
+        """A new cumulative ACK; True = retransmit the next hole (partial ACK)."""
+        raise NotImplementedError
+
+    def on_dupack(
+        self,
+        flight_size: int,
+        next_seq: int,
+        now_ns: int,
+        srtt_ns: Optional[int],
+    ) -> bool:
+        """A duplicate ACK with data in flight; True = fast-retransmit now."""
+        raise NotImplementedError
+
+    def on_timeout(self, flight_size: int, now_ns: int) -> None:
+        """The retransmission timer fired; collapse to slow start."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"{type(self).__name__}(cwnd={self.cwnd:.2f}, ssthresh={self.ssthresh:.2f}, "
+            f"dupacks={self.dupacks}, in_recovery={self.in_recovery})"
+        )
+
+
+class RenoController(CongestionController):
+    """The seed sender's machine: Reno fast recovery with partial-ACK retention.
+
+    This is *exactly* the congestion logic that lived inline in
+    ``TcpSender`` before the registry existed — slow start, congestion
+    avoidance, triple-dupACK fast retransmit, window inflation during
+    recovery, and the seed's NewReno-flavoured partial-ACK handling
+    (retransmit the next hole, deflate no lower than ``ssthresh``).  The
+    expressions and branch order are preserved verbatim so the default
+    transport stays bit-identical to pre-registry builds; by-the-RFC
+    NewReno (pure deflation, burst-avoiding exit) is the separate
+    :class:`NewRenoController`.
+    """
+
+    __slots__ = ()
+
+    name = "reno"
+
+    def on_ack(self, ack, newly_acked, flight_size, now_ns, srtt_ns) -> bool:
+        self.dupacks = 0
+        if self.in_recovery:
+            if ack > self.recover:
+                # Full recovery: deflate the window back to ssthresh.
+                self.in_recovery = False
+                self.cwnd = self.ssthresh
+                return False
+            # Partial ACK (NewReno-style): retransmit the next hole and
+            # stay in recovery, deflating by the amount acknowledged.
+            self.cwnd = max(self.ssthresh, self.cwnd - newly_acked + 1)
+            return True
+        if self.cwnd < self.ssthresh:
+            self.cwnd += newly_acked  # slow start
+        else:
+            self.cwnd += newly_acked / self.cwnd  # congestion avoidance
+        return False
+
+    def on_dupack(self, flight_size, next_seq, now_ns, srtt_ns) -> bool:
+        self.dupacks += 1
+        if self.in_recovery:
+            self.cwnd += 1.0  # window inflation while the hole persists
+            return False
+        if self.dupacks == DUPACK_THRESHOLD:
+            self.ssthresh = max(flight_size / 2.0, 2.0)
+            self.in_recovery = True
+            self.recover = next_seq - 1
+            self.cwnd = self.ssthresh + 3.0
+            return True
+        return False
+
+    def on_timeout(self, flight_size, now_ns) -> None:
+        self.ssthresh = max(flight_size / 2.0, 2.0)
+        self.cwnd = 1.0
+        self.dupacks = 0
+        self.in_recovery = False
+
+
+class TahoeController(CongestionController):
+    """TCP Tahoe: fast retransmit, no fast recovery — every loss slow-starts.
+
+    Three duplicate ACKs still trigger an immediate retransmission of the
+    hole, but instead of inflating a halved window Tahoe collapses
+    ``cwnd`` to one segment and climbs back through slow start (the
+    pre-1990 behaviour Reno was invented to fix).  Under MAC-induced
+    *re-ordering* this is the worst case the paper gestures at: a
+    spurious fast retransmit costs a full slow-start epoch, not a
+    halving.
+    """
+
+    __slots__ = ()
+
+    name = "tahoe"
+
+    def on_ack(self, ack, newly_acked, flight_size, now_ns, srtt_ns) -> bool:
+        self.dupacks = 0
+        if self.cwnd < self.ssthresh:
+            self.cwnd += newly_acked  # slow start
+        else:
+            self.cwnd += newly_acked / self.cwnd  # congestion avoidance
+        return False
+
+    def on_dupack(self, flight_size, next_seq, now_ns, srtt_ns) -> bool:
+        self.dupacks += 1
+        if self.dupacks == DUPACK_THRESHOLD:
+            self.ssthresh = max(flight_size / 2.0, 2.0)
+            self.cwnd = 1.0
+            return True
+        return False
+
+    def on_timeout(self, flight_size, now_ns) -> None:
+        self.ssthresh = max(flight_size / 2.0, 2.0)
+        self.cwnd = 1.0
+        self.dupacks = 0
+
+
+class NewRenoController(CongestionController):
+    """NewReno per RFC 6582: partial-ACK retention with pure deflation.
+
+    Differs from :class:`RenoController` (the seed machine) in the two
+    places the RFC tightened: a partial ACK deflates the window by
+    exactly the amount acknowledged plus one segment — no ``ssthresh``
+    floor, so a long recovery episode keeps draining — and full recovery
+    exits with ``min(ssthresh, flight + 1)`` segments (the RFC's
+    burst-avoidance option), not a flat ``ssthresh``.
+    """
+
+    __slots__ = ()
+
+    name = "newreno"
+
+    def on_ack(self, ack, newly_acked, flight_size, now_ns, srtt_ns) -> bool:
+        self.dupacks = 0
+        if self.in_recovery:
+            if ack > self.recover:
+                # Full ACK: RFC 6582 option 1 exit avoids a deflation burst.
+                self.in_recovery = False
+                self.cwnd = min(self.ssthresh, float(flight_size) + 1.0)
+                return False
+            # Partial ACK: deflate by the amount acked, add back one MSS,
+            # retransmit the next hole, stay in recovery.
+            self.cwnd = max(self.cwnd - newly_acked + 1.0, 1.0)
+            return True
+        if self.cwnd < self.ssthresh:
+            self.cwnd += newly_acked  # slow start
+        else:
+            self.cwnd += newly_acked / self.cwnd  # congestion avoidance
+        return False
+
+    def on_dupack(self, flight_size, next_seq, now_ns, srtt_ns) -> bool:
+        self.dupacks += 1
+        if self.in_recovery:
+            self.cwnd += 1.0
+            return False
+        if self.dupacks == DUPACK_THRESHOLD:
+            self.ssthresh = max(flight_size / 2.0, 2.0)
+            self.in_recovery = True
+            self.recover = next_seq - 1
+            self.cwnd = self.ssthresh + 3.0
+            return True
+        return False
+
+    def on_timeout(self, flight_size, now_ns) -> None:
+        self.ssthresh = max(flight_size / 2.0, 2.0)
+        self.cwnd = 1.0
+        self.dupacks = 0
+        self.in_recovery = False
+
+
+class CubicController(CongestionController):
+    """CUBIC (RFC 8312): time-based window growth with fast convergence.
+
+    Congestion avoidance grows the window along ``W(t) = C·(t−K)³ +
+    W_max`` — a function of *elapsed time since the last loss epoch*, not
+    of ACK count — so long-RTT multi-hop paths are not starved relative
+    to short ones.  ``t`` is simulation time (``now_ns`` from the event
+    loop; no wall clock touches the hot path), which keeps Cubic runs as
+    deterministic and cacheable as every other scheme.  The standard
+    companions are included: *fast convergence* (a flow that lost ground
+    since its last W_max concedes bandwidth to newcomers by shrinking its
+    recorded plateau) and the *TCP-friendly region* (the window never
+    drops below what an AIMD flow with the same β would achieve, computed
+    from the smoothed RTT).  Loss reaction is the multiplicative-decrease
+    β (default 0.7) with Reno-structured fast recovery around it.
+    """
+
+    __slots__ = ("c", "beta", "fast_convergence", "w_max", "_epoch_start_ns", "_k", "_origin", "_w_est")
+
+    name = "cubic"
+
+    def __init__(self, c: float = 0.4, beta: float = 0.7, fast_convergence: bool = True) -> None:
+        super().__init__()
+        self.c = float(c)
+        self.beta = float(beta)
+        self.fast_convergence = bool(fast_convergence)
+        self.w_max = 0.0
+        self._epoch_start_ns = -1
+        self._k = 0.0
+        self._origin = 0.0
+        self._w_est = 0.0
+
+    def attach(self, awnd_segments: int, initial_cwnd: float) -> "CubicController":
+        super().attach(awnd_segments, initial_cwnd)
+        self.w_max = 0.0
+        self._epoch_start_ns = -1
+        return self
+
+    # ------------------------------------------------------------------
+    # Loss reaction shared by fast retransmit and RTO
+    # ------------------------------------------------------------------
+    def _register_loss(self) -> None:
+        if self.fast_convergence and self.cwnd < self.w_max:
+            # Losing ground since the last plateau: release bandwidth
+            # faster so competing (newer) flows converge.
+            self.w_max = self.cwnd * (2.0 - self.beta) / 2.0
+        else:
+            self.w_max = self.cwnd
+        self.ssthresh = max(self.cwnd * self.beta, 2.0)
+        self._epoch_start_ns = -1  # new cubic epoch starts at the next ACK
+
+    def _start_epoch(self, now_ns: int) -> None:
+        self._epoch_start_ns = now_ns
+        if self.w_max > self.cwnd:
+            # K: time to climb back to the previous plateau.
+            self._k = ((self.w_max - self.cwnd) / self.c) ** (1.0 / 3.0)
+            self._origin = self.w_max
+        else:
+            self._k = 0.0
+            self._origin = self.cwnd
+        self._w_est = self.cwnd
+
+    def on_ack(self, ack, newly_acked, flight_size, now_ns, srtt_ns) -> bool:
+        self.dupacks = 0
+        if self.in_recovery:
+            if ack > self.recover:
+                self.in_recovery = False
+                self.cwnd = self.ssthresh
+                return False
+            self.cwnd = max(self.ssthresh, self.cwnd - newly_acked + 1.0)
+            return True
+        if self.cwnd < self.ssthresh:
+            self.cwnd += newly_acked  # slow start
+            return False
+        if self._epoch_start_ns < 0:
+            self._start_epoch(now_ns)
+        t_s = (now_ns - self._epoch_start_ns) / 1e9
+        rtt_s = (srtt_ns / 1e9) if srtt_ns else 0.0
+        # Target the cubic curve one RTT ahead, per the RFC's pacing rule.
+        offset = t_s + rtt_s - self._k
+        target = self._origin + self.c * offset * offset * offset
+        # TCP-friendly region: the AIMD window an equivalent Reno flow
+        # with multiplicative decrease beta would have grown by now.
+        self._w_est += 3.0 * (1.0 - self.beta) / (1.0 + self.beta) * (newly_acked / self.cwnd)
+        if target < self._w_est:
+            target = self._w_est
+        if target > self.cwnd:
+            # Standard per-ACK pacing: close 1/cwnd of the gap per segment.
+            self.cwnd += (target - self.cwnd) / self.cwnd * newly_acked
+        else:
+            # At or above the curve (concave plateau): creep, don't stall.
+            self.cwnd += 0.01 * newly_acked / self.cwnd
+        return False
+
+    def on_dupack(self, flight_size, next_seq, now_ns, srtt_ns) -> bool:
+        self.dupacks += 1
+        if self.in_recovery:
+            self.cwnd += 1.0
+            return False
+        if self.dupacks == DUPACK_THRESHOLD:
+            self._register_loss()
+            self.in_recovery = True
+            self.recover = next_seq - 1
+            self.cwnd = self.ssthresh + 3.0
+            return True
+        return False
+
+    def on_timeout(self, flight_size, now_ns) -> None:
+        self._register_loss()
+        self.cwnd = 1.0
+        self.dupacks = 0
+        self.in_recovery = False

@@ -1,4 +1,4 @@
-"""TCP Reno at packet granularity (the NS-2 ``Agent/TCP`` + ``Agent/TCPSink`` model).
+"""TCP at packet granularity (the NS-2 ``Agent/TCP`` + ``Agent/TCPSink`` model).
 
 The paper's motivation hinges on how TCP's congestion control reacts to
 the MAC layer underneath it:
@@ -12,28 +12,34 @@ the MAC layer underneath it:
 * MAC-level **delay** inflates the RTT and therefore the pipe the window
   has to fill.
 
-This module models exactly those mechanisms: slow start, congestion
-avoidance, duplicate ACK counting, Reno fast retransmit / fast recovery,
-Jacobson/Karn RTO estimation with exponential backoff, and a cumulative-
-ACK sink that acknowledges every arriving segment (so out-of-order
-arrivals immediately generate duplicate ACKs) and tracks re-ordering and
-goodput statistics.  Segments are counted in MSS-sized packets, like NS-2.
+This module models exactly those mechanisms.  *Which* congestion control
+responds is pluggable: the sender delegates window policy to a
+:class:`~repro.transport.congestion.CongestionController` (Reno by
+default, bit-identical to the original hard-coded machine; Tahoe, NewReno
+and Cubic via ``TRANSPORT_SCHEMES``), while keeping the mechanics to
+itself — sequence/window bookkeeping, duplicate-ACK counting at the wire,
+Jacobson/Karn RTO estimation with exponential backoff, and go-back-N
+resend after a timeout.  The cumulative-ACK sink acknowledges every
+arriving segment (so out-of-order arrivals immediately generate duplicate
+ACKs) and tracks re-ordering and goodput statistics.  Segments are
+counted in MSS-sized packets, like NS-2.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.packet import Packet
 from repro.sim.engine import Event, Simulator
 from repro.sim.units import ms, ns_to_seconds, seconds
+from repro.transport.congestion import CongestionController, RenoController
 
 #: TCP acknowledgement packet size on the wire (bytes), as used in the paper's NS-2 setup.
 TCP_ACK_BYTES = 40
 
 
-@dataclass
+@dataclass(slots=True)
 class TcpSegment:
     """Transport payload attached to a data packet."""
 
@@ -42,7 +48,7 @@ class TcpSegment:
     is_retransmission: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class TcpAck:
     """Transport payload attached to an ACK packet (cumulative acknowledgement)."""
 
@@ -50,7 +56,7 @@ class TcpAck:
     ack: int  # next expected segment sequence number
 
 
-@dataclass
+@dataclass(slots=True)
 class TcpSenderStats:
     """Counters exposed by a TCP sender."""
 
@@ -58,11 +64,12 @@ class TcpSenderStats:
     retransmissions: int = 0
     fast_retransmits: int = 0
     timeouts: int = 0
+    rto_backoffs: int = 0
     acks_received: int = 0
     duplicate_acks: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class TcpSinkStats:
     """Counters exposed by a TCP sink."""
 
@@ -77,7 +84,34 @@ class TcpSinkStats:
 
 
 class TcpSender:
-    """Reno congestion control driving MSS-sized segments into the network."""
+    """Reliable sender driving MSS-sized segments under a pluggable controller."""
+
+    __slots__ = (
+        "sim",
+        "host",
+        "flow_id",
+        "src",
+        "dst",
+        "mss_bytes",
+        "awnd",
+        "stats",
+        "controller",
+        "next_seq",
+        "highest_acked",
+        "_app_bytes_available",
+        "_infinite_source",
+        "_send_timestamps",
+        "_resend_next",
+        "_recover_until",
+        "srtt_ns",
+        "rttvar_ns",
+        "rto_ns",
+        "min_rto_ns",
+        "max_rto_ns",
+        "_rto_event",
+        "_backoff",
+        "_completion_callbacks",
+    )
 
     def __init__(
         self,
@@ -91,6 +125,7 @@ class TcpSender:
         min_rto_ns: int = ms(200),
         initial_rto_ns: int = seconds(1),
         max_rto_ns: int = seconds(10),
+        controller: Optional[CongestionController] = None,
     ) -> None:
         self.sim = sim
         self.host = host
@@ -100,12 +135,10 @@ class TcpSender:
         self.mss_bytes = mss_bytes
         self.awnd = awnd_segments
         self.stats = TcpSenderStats()
-        # Congestion state
-        self.cwnd = float(initial_cwnd)
-        self.ssthresh = float(awnd_segments)
-        self.dupacks = 0
-        self.in_fast_recovery = False
-        self.recover = 0
+        # Congestion state lives in the controller (Reno unless configured).
+        self.controller = (controller if controller is not None else RenoController()).attach(
+            awnd_segments, initial_cwnd
+        )
         # Sequence state (in segments)
         self.next_seq = 0
         self.highest_acked = 0
@@ -147,6 +180,14 @@ class TcpSender:
         """Register a callback fired when every queued byte has been acknowledged."""
         self._completion_callbacks.append(callback)
 
+    def reset_stats(self) -> None:
+        """Zero the counters while keeping congestion and sequence state.
+
+        Called at the warmup/measurement boundary so retransmission and
+        timeout counters cover only the measurement window.
+        """
+        self.stats = TcpSenderStats()
+
     @property
     def transfer_complete(self) -> bool:
         """True when a finite transfer has been fully acknowledged."""
@@ -162,7 +203,35 @@ class TcpSender:
     @property
     def window(self) -> int:
         """Usable window in segments."""
-        return int(min(self.cwnd, float(self.awnd)))
+        return int(min(self.controller.cwnd, float(self.awnd)))
+
+    # ------------------------------------------------------------------
+    # Congestion state (delegated to the controller, read-only)
+    # ------------------------------------------------------------------
+    @property
+    def cwnd(self) -> float:
+        """Congestion window in segments (controller state)."""
+        return self.controller.cwnd
+
+    @property
+    def ssthresh(self) -> float:
+        """Slow-start threshold in segments (controller state)."""
+        return self.controller.ssthresh
+
+    @property
+    def dupacks(self) -> int:
+        """Consecutive duplicate ACKs seen since the last new ACK."""
+        return self.controller.dupacks
+
+    @property
+    def in_fast_recovery(self) -> bool:
+        """True while the controller is in a fast-recovery episode."""
+        return self.controller.in_recovery
+
+    @property
+    def recover(self) -> int:
+        """Highest sequence outstanding when the current recovery began."""
+        return self.controller.recover
 
     # ------------------------------------------------------------------
     # Sending machinery
@@ -232,25 +301,12 @@ class TcpSender:
         newly_acked = ack - self.highest_acked
         self._sample_rtt(ack)
         self.highest_acked = ack
-        self.dupacks = 0
         self._backoff = 1
         if self._resend_next < ack:
             self._resend_next = ack
-        if self.in_fast_recovery:
-            if ack > self.recover:
-                # Full recovery: deflate the window back to ssthresh.
-                self.in_fast_recovery = False
-                self.cwnd = self.ssthresh
-            else:
-                # Partial ACK (NewReno-style): retransmit the next hole and
-                # stay in recovery, deflating by the amount acknowledged.
-                self.cwnd = max(self.ssthresh, self.cwnd - newly_acked + 1)
-                self._transmit_segment(self.highest_acked, is_retransmission=True)
-        else:
-            if self.cwnd < self.ssthresh:
-                self.cwnd += newly_acked  # slow start
-            else:
-                self.cwnd += newly_acked / self.cwnd  # congestion avoidance
+        if self.controller.on_ack(ack, newly_acked, self.flight_size, self.sim.now, self.srtt_ns):
+            # Partial ACK during recovery: retransmit the next hole.
+            self._transmit_segment(self.highest_acked, is_retransmission=True)
         if self.flight_size > 0:
             self._arm_rto(restart=True)
         else:
@@ -260,16 +316,8 @@ class TcpSender:
         self.stats.duplicate_acks += 1
         if self.flight_size == 0:
             return
-        self.dupacks += 1
-        if self.in_fast_recovery:
-            self.cwnd += 1.0  # window inflation while the hole persists
-            return
-        if self.dupacks == 3:
+        if self.controller.on_dupack(self.flight_size, self.next_seq, self.sim.now, self.srtt_ns):
             self.stats.fast_retransmits += 1
-            self.ssthresh = max(self.flight_size / 2.0, 2.0)
-            self.in_fast_recovery = True
-            self.recover = self.next_seq - 1
-            self.cwnd = self.ssthresh + 3.0
             self._transmit_segment(self.highest_acked, is_retransmission=True)
 
     def _sample_rtt(self, ack: int) -> None:
@@ -310,10 +358,9 @@ class TcpSender:
         if self.flight_size == 0:
             return
         self.stats.timeouts += 1
-        self.ssthresh = max(self.flight_size / 2.0, 2.0)
-        self.cwnd = 1.0
-        self.dupacks = 0
-        self.in_fast_recovery = False
+        if self._backoff > 1:
+            self.stats.rto_backoffs += 1
+        self.controller.on_timeout(self.flight_size, self.sim.now)
         self._backoff = min(self._backoff * 2, 64)
         self._recover_until = self.next_seq
         self._resend_next = self.highest_acked + 1
@@ -330,6 +377,20 @@ class TcpSender:
 
 class TcpSink:
     """Cumulative-ACK receiver with re-ordering and goodput accounting."""
+
+    __slots__ = (
+        "sim",
+        "host",
+        "flow_id",
+        "peer",
+        "mss_bytes",
+        "ack_bytes",
+        "stats",
+        "next_expected",
+        "_out_of_order",
+        "_highest_seen",
+        "_in_order_base",
+    )
 
     def __init__(
         self,

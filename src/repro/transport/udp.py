@@ -16,7 +16,7 @@ from repro.sim.engine import Simulator
 from repro.sim.units import ns_to_seconds
 
 
-@dataclass
+@dataclass(slots=True)
 class UdpDatagram:
     """Transport payload attached to a UDP packet."""
 
@@ -24,7 +24,7 @@ class UdpDatagram:
     seq: int
 
 
-@dataclass
+@dataclass(slots=True)
 class UdpStats:
     """Sender/receiver counters for one UDP flow."""
 
@@ -38,6 +38,8 @@ class UdpStats:
 
 class UdpSender:
     """Datagram source for one flow."""
+
+    __slots__ = ("sim", "host", "flow_id", "dst", "stats", "_next_seq")
 
     def __init__(self, sim: Simulator, host: "TransportHost", flow_id: int, dst: int) -> None:
         self.sim = sim
@@ -72,6 +74,8 @@ class UdpSender:
 
 class UdpReceiver:
     """Datagram sink recording delivery, duplicates and one-way delay."""
+
+    __slots__ = ("sim", "host", "flow_id", "stats", "_seen", "_on_receive")
 
     def __init__(
         self,

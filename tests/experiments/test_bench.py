@@ -30,9 +30,10 @@ class TestMatrix:
     def test_default_matrix_covers_families_times_schemes(self):
         cases = default_cases(duration_s=0.1)
         names = {case.name for case in cases}
-        assert len(cases) == 5 * 4  # five families, D/A/R1/R16
+        assert len(cases) == 6 * 4  # six families, D/A/R1/R16
         assert "roofnet/R16" in names and "wigle/D" in names
         assert "mobility/A" in names and "line-noisy/R1" in names
+        assert "line-cubic/R16" in names
 
     def test_family_filter_and_unknown_family(self):
         cases = default_cases(duration_s=0.1, families=("roofnet",), schemes=("D",))
@@ -42,7 +43,7 @@ class TestMatrix:
 
     def test_quick_subset_is_small(self):
         cases = quick_cases()
-        assert {case.family for case in cases} == {"line-clear", "roofnet"}
+        assert {case.family for case in cases} == {"line-clear", "line-cubic", "roofnet"}
         assert {case.scheme for case in cases} == {"D", "R16"}
 
 
@@ -118,7 +119,9 @@ class TestCli:
         )
         assert code == 0
         data = json.loads(out.read_text())
-        assert {case["family"] for case in data["cases"]} == {"line-clear", "roofnet"}
+        assert {case["family"] for case in data["cases"]} == {
+            "line-clear", "line-cubic", "roofnet"
+        }
         stdout = capsys.readouterr().out
         assert "roofnet/R16" in stdout
 

@@ -22,6 +22,7 @@ class TestGeneration:
             "MAC schemes",
             "Routing strategies",
             "Traffic kinds",
+            "Transport schemes",
             "Mobility models",
             "Propagation models",
         ]

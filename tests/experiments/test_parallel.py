@@ -51,14 +51,15 @@ class TestConfigDigest:
 class TestCacheSchemaVersion:
     """Schema bumps must actually reach the digest (cache-soundness)."""
 
-    def test_version_pinned_to_counter_rng_bump(self):
-        # 5 = counter-based (Philox) RNG streams: every draw value changed,
-        # so schema-4 results describe different sample paths and must not
-        # be served from the cache.  Bump this pin together with the
-        # constant — never adjust the pin alone.
+    def test_version_pinned_to_transport_counters_bump(self):
+        # 6 = transport registry: cached result payloads gained per-flow
+        # transport counters (retransmissions, fast_retransmits, timeouts,
+        # rto_backoffs — and packets_sent is now the sender's count for TCP
+        # flows), which schema-5 entries lack.  Bump this pin together with
+        # the constant — never adjust the pin alone.
         import repro.experiments.parallel as parallel
 
-        assert parallel.CACHE_SCHEMA_VERSION == 5
+        assert parallel.CACHE_SCHEMA_VERSION == 6
 
     def test_digest_incorporates_schema_version(self, monkeypatch):
         """An old-schema digest must differ for the *same* config.
@@ -72,7 +73,7 @@ class TestCacheSchemaVersion:
 
         config = small_config()
         current = config_digest(config)
-        monkeypatch.setattr(parallel, "CACHE_SCHEMA_VERSION", 4)
+        monkeypatch.setattr(parallel, "CACHE_SCHEMA_VERSION", 5)
         assert config_digest(config) != current
 
 

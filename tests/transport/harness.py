@@ -1,0 +1,120 @@
+"""Forced-drop trace harness: a deterministic two-host pipe for TCP episodes.
+
+The trajectory tests need to march a congestion controller through
+*exactly* the episode they name — triple-dupACK, partial ACK, full-window
+loss, reorder-without-loss — and assert the resulting cwnd/ssthresh
+trace against hand-computed values.  A real MAC/PHY stack underneath
+would make that impossible (stochastic fades, contention timing), so
+:class:`TcpPipe` wires a real :class:`~repro.transport.tcp.TcpSender`,
+:class:`~repro.transport.tcp.TcpSink` and two real
+:class:`~repro.transport.host.TransportHost` instances over a fake
+network that is nothing but a fixed one-way latency.  The RTT is exactly
+``2 * latency_ns``, nothing is ever lost or re-ordered unless the
+attached :class:`~repro.transport.dropscript.DropScript` says so, and
+every run is bit-deterministic.
+
+A cwnd recorder rides as a second flow handler on the sender's host;
+handlers run in registration order, so each trace sample observes the
+window *after* the sender processed that ACK.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.sim.engine import Simulator
+from repro.sim.units import ms
+from repro.transport.congestion import CongestionController
+from repro.transport.dropscript import DropScript
+from repro.transport.host import TransportHost
+from repro.transport.tcp import TcpAck, TcpSender, TcpSink
+
+#: Default one-way pipe latency; RTT = 2 x this = 10 ms, far below min RTO.
+DEFAULT_LATENCY_NS = ms(5)
+
+
+class _PipeEndpoint:
+    """One direction of the pipe: delivers every packet after a fixed latency."""
+
+    def __init__(self, sim: Simulator, latency_ns: int) -> None:
+        self.sim = sim
+        self.latency_ns = latency_ns
+        self._deliver = None
+        self.peer: Optional["_PipeEndpoint"] = None
+
+    def set_local_delivery(self, callback) -> None:
+        self._deliver = callback
+
+    def send(self, packet) -> bool:
+        peer = self.peer
+        self.sim.schedule(self.latency_ns, lambda: peer._deliver(packet))
+        return True
+
+
+@dataclass
+class TraceSample:
+    """One observed ACK at the sender, with the post-update window state."""
+
+    now_ns: int
+    ack: int
+    cwnd: float
+    ssthresh: float
+    in_recovery: bool
+
+
+class TcpPipe:
+    """A sender/sink pair over a scripted, loss-free, fixed-latency pipe."""
+
+    def __init__(
+        self,
+        controller: Optional[CongestionController] = None,
+        latency_ns: int = DEFAULT_LATENCY_NS,
+        awnd_segments: int = 64,
+        **sender_kwargs,
+    ) -> None:
+        self.sim = Simulator()
+        forward = _PipeEndpoint(self.sim, latency_ns)
+        backward = _PipeEndpoint(self.sim, latency_ns)
+        forward.peer, backward.peer = backward, forward
+        self.src_host = TransportHost(self.sim, 0, forward)
+        self.dst_host = TransportHost(self.sim, 1, backward)
+        self.script = DropScript()
+        self.src_host.attach_drop_script(self.script)
+        self.sender = TcpSender(
+            self.sim,
+            self.src_host,
+            flow_id=1,
+            dst=1,
+            awnd_segments=awnd_segments,
+            controller=controller,
+            **sender_kwargs,
+        )
+        self.sink = TcpSink(self.sim, self.dst_host, flow_id=1, peer=0)
+        self.trace: List[TraceSample] = []
+        # Registered after the sender: handlers run in registration order,
+        # so every sample sees the post-ACK controller state.
+        self.src_host.register_flow(1, self._record)
+
+    def _record(self, packet) -> None:
+        if not isinstance(packet.payload, TcpAck):
+            return
+        self.trace.append(
+            TraceSample(
+                now_ns=self.sim.now,
+                ack=packet.payload.ack,
+                cwnd=self.sender.cwnd,
+                ssthresh=self.sender.ssthresh,
+                in_recovery=self.sender.in_fast_recovery,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+    def run_seconds(self, duration_s: float) -> None:
+        self.sim.run(until=self.sim.now + int(duration_s * 1_000_000_000))
+
+    def cwnd_trace(self) -> List[Tuple[int, float]]:
+        """``(ack, cwnd)`` pairs for every ACK the sender processed."""
+        return [(sample.ack, sample.cwnd) for sample in self.trace]
