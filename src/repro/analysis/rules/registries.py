@@ -29,6 +29,7 @@ COMPONENT_REGISTRIES: Tuple[Tuple[str, str], ...] = (
     ("repro.topology.registry", "TOPOLOGIES"),
     ("repro.mobility.models", "MOBILITY_MODELS"),
     ("repro.phy.registry", "PROPAGATION_MODELS"),
+    ("repro.corpus.checks", "CORPUS_CHECKS"),
 )
 
 #: Serialized wire classes outside the digest path that must still parse

@@ -77,6 +77,12 @@ class Experiment:
     description: str
     #: (runner, duration_s or None for the experiment's default, seed) -> text
     render: Callable[[SweepRunner, Optional[float], int], str]
+    #: Heading the 'list' command files this experiment under.
+    group: str = "paper figures"
+    #: Never simulates: serves purely from the result cache, even under 'run'.
+    cache_only: bool = False
+    #: Sweep axes shown in 'list' (empty = a fixed scenario set).
+    axes: str = ""
 
 
 def _duration_kwargs(duration_s: Optional[float]) -> dict:
@@ -263,6 +269,37 @@ def _render_congestion(runner, duration_s, seed):
     return "\n\n".join(blocks)
 
 
+def _render_corpus(runner, duration_s, seed):
+    from repro.experiments.corpus import CORPUS_DURATION_S, run_corpus
+
+    result = run_corpus(
+        seed=seed,
+        duration_s=CORPUS_DURATION_S if duration_s is None else duration_s,
+        runner=runner,
+    )
+    rows = {
+        label: [result.throughput_mbps[label], float(result.events[label])]
+        for label in result.labels
+    }
+    return format_table(
+        f"Corpus — sampled registry cross-product (sample seed {seed})",
+        ["Mb/s", "events"],
+        rows,
+    )
+
+
+def _render_corpus_report(runner, duration_s, seed):
+    # Cache-only by design: re-render the corpus sweep without ever
+    # simulating, whichever runner the command line built.
+    cache = getattr(runner, "cache", None)
+    if cache is None:
+        raise CacheMissError(
+            "corpus-report never simulates and needs a result cache "
+            "(drop --no-cache)"
+        )
+    return _render_corpus(CacheOnlySweepRunner(cache), duration_s, seed)
+
+
 def _render_forwarders(runner, duration_s, seed):
     from repro.experiments.ablation import run_forwarder_ablation
 
@@ -289,12 +326,24 @@ EXPERIMENTS: Dict[str, Experiment] = {
         Experiment("table3", "VoIP MoS, both BER points", _render_table3),
         Experiment("fig10", "Wigle topology per-pair throughput", _render_wigle),
         Experiment("fig12", "Roofnet topology per-pair throughput", _render_roofnet),
-        Experiment("ablation-aggregation", "RIPPLE max-aggregation sweep", _render_aggregation),
-        Experiment("ablation-forwarders", "RIPPLE forwarder-cap sweep", _render_forwarders),
-        Experiment("mobility-tcp", "TCP throughput vs node speed (random waypoint)", _render_mobility_tcp),
-        Experiment("mobility-voip", "VoIP MoS vs node speed (random waypoint)", _render_mobility_voip),
-        Experiment("fading", "D/R16 line throughput per propagation model", _render_fading),
-        Experiment("congestion", "Transport x MAC grid (reno/tahoe/newreno/cubic)", _render_congestion),
+        Experiment("ablation-aggregation", "RIPPLE max-aggregation sweep", _render_aggregation,
+                   group="ablations"),
+        Experiment("ablation-forwarders", "RIPPLE forwarder-cap sweep", _render_forwarders,
+                   group="ablations"),
+        Experiment("mobility-tcp", "TCP throughput vs node speed (random waypoint)", _render_mobility_tcp,
+                   group="mobility"),
+        Experiment("mobility-voip", "VoIP MoS vs node speed (random waypoint)", _render_mobility_voip,
+                   group="mobility"),
+        Experiment("fading", "D/R16 line throughput per propagation model", _render_fading,
+                   group="components"),
+        Experiment("congestion", "Transport x MAC grid (reno/tahoe/newreno/cubic)", _render_congestion,
+                   group="components"),
+        Experiment("corpus", "Seeded sample of the registry cross-product", _render_corpus,
+                   group="corpus",
+                   axes="topology x mac x routing x traffic x transport x phy x mobility"),
+        Experiment("corpus-report", "Corpus sweep re-rendered from the cache", _render_corpus_report,
+                   group="corpus", cache_only=True,
+                   axes="topology x mac x routing x traffic x transport x phy x mobility"),
     ]
 }
 
@@ -635,6 +684,23 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _print_experiment_groups() -> None:
+    """The 'list' catalogue: experiments filed under their group headings."""
+    width = max(len(name) for name in EXPERIMENTS)
+    groups: Dict[str, List[Experiment]] = {}
+    for exp in EXPERIMENTS.values():
+        groups.setdefault(exp.group, []).append(exp)
+    for position, (group, members) in enumerate(groups.items()):
+        if position:
+            print()
+        print(f"{group}:")
+        for exp in members:
+            suffix = "  [cache-only]" if exp.cache_only else ""
+            if exp.axes:
+                suffix += f"  (axes: {exp.axes})"
+            print(f"  {exp.name:<{width}}  {exp.description}{suffix}")
+
+
 def _print_component_registries() -> None:
     from repro.mac.registry import MAC_SCHEMES
     from repro.mobility.models import MOBILITY_MODELS
@@ -651,7 +717,7 @@ def _print_component_registries() -> None:
         TRANSPORT_SCHEMES, MOBILITY_MODELS, PROPAGATION_MODELS,
     )
     for registry in registries:
-        print(f"  {registry.kind + ':':<18} {', '.join(registry.known_names())}")
+        print(f"  {registry.summary()}")
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -662,9 +728,7 @@ def main(argv: Optional[list] = None) -> int:
 
             print(generate_components_markdown(), end="")
             return 0
-        width = max(len(name) for name in EXPERIMENTS)
-        for name, exp in EXPERIMENTS.items():
-            print(f"{name:<{width}}  {exp.description}")
+        _print_experiment_groups()
         _print_component_registries()
         return 0
 

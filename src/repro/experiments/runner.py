@@ -45,7 +45,7 @@ from repro.mobility.spec import MobilitySpec
 from repro.phy.error_models import BitErrorModel
 from repro.phy.params import PhyParams
 from repro.routing.dynamic import AdaptiveEtxRouting
-from repro.serialization import require_known_keys
+from repro.serialization import require_keys, require_known_keys
 from repro.sim.units import seconds
 from repro.spec import MacSpec, RoutingSpec, TrafficSpec, TransportSpec
 from repro.topology.network import WirelessNetwork
@@ -216,6 +216,11 @@ class ScenarioConfig:
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ScenarioConfig":
         require_known_keys(data, cls._FIELDS, cls.__name__)
+        require_keys(
+            data,
+            ("topology", "route_set", "bit_error_rate", "duration_s", "seed"),
+            cls.__name__,
+        )
         phy = data.get("phy")
         active = data.get("active_flows")
         max_aggregation = data.get("max_aggregation")

@@ -183,6 +183,16 @@ class Registry:
         """Canonical names in registration order."""
         return tuple(self._entries)
 
+    def summary(self) -> str:
+        """One-line inventory: ``<kind>: name, alias, prefix:<arg>, ...``.
+
+        The introspection hook behind ``python -m repro.experiments list``
+        and the corpus enumeration docs — one stable rendering of what a
+        registry holds, instead of each CLI joining ``known_names()`` its
+        own way.
+        """
+        return f"{self.kind}: {', '.join(self.known_names())}"
+
     def items(self):
         return self._entries.items()
 

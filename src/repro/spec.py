@@ -99,6 +99,17 @@ class _ComponentSpec:
         raise NotImplementedError
 
     @classmethod
+    def registry(cls):
+        """The live registry this spec class resolves names in.
+
+        Public introspection hook: the scenario corpus
+        (:mod:`repro.corpus.space`) walks it to enumerate the valid spec
+        space, and the wire-format fuzz tests use it to build known-good
+        documents per spec class.
+        """
+        return cls._registry()
+
+    @classmethod
     def _name_exempt(cls, name: str) -> bool:
         """Names valid for this spec without a registry entry (none by default)."""
         return False
@@ -233,6 +244,19 @@ class TopologyRef(_ComponentSpec):
         from repro.topology.registry import build_topology
 
         return build_topology(self.name, **self.params)
+
+
+#: ScenarioSpec component field -> the spec class that parses it.  The
+#: enumeration hook the corpus and the wire-format fuzz tests iterate:
+#: every name-addressed layer appears here exactly once, so "walk all
+#: component registries" never silently misses a newly added layer.
+COMPONENT_SPEC_CLASSES: Dict[str, type] = {
+    "topology": TopologyRef,
+    "mac": MacSpec,
+    "routing": RoutingSpec,
+    "traffic": TrafficSpec,
+    "transport": TransportSpec,
+}
 
 
 def _phy_to_dict(phy: Optional[Union[str, PhyParams]]) -> object:

@@ -1,0 +1,132 @@
+"""Property-fuzz the strict wire formats: every malformed document names itself.
+
+Randomized mutations — unknown-key injection, required-key removal,
+wrong-typed component entries — over every ``from_dict`` wire class
+(component specs, ScenarioSpec, ScenarioConfig, the service's JobRecord
+and SubmitRequest) must raise :class:`~repro.serialization.SpecError`
+messages naming the offending field and the accepting class.  Randomness
+comes only from the keyed Philox streams of :mod:`repro.sim.rng`
+(seeded, machine-independent), so a failing mutation reproduces by
+rerunning the test — no wall-clock seeds, no flakes.
+"""
+
+import pytest
+
+from repro.corpus.shrink import baseline_document
+from repro.serialization import SpecError
+from repro.sim.rng import RandomStreams
+from repro.spec import COMPONENT_SPEC_CLASSES, ScenarioSpec
+
+#: Fuzz iterations per (class, mutation) pair — tiny documents, so cheap.
+ROUNDS = 25
+
+
+def _stream(*keys):
+    return RandomStreams(0).stream_for("/".join(("fuzz-wire",) + keys))
+
+
+def _random_key(generator, taken):
+    while True:
+        suffix = "".join(chr(ord("a") + int(d)) for d in generator.integers(0, 26, size=8))
+        key = f"fz_{suffix}"
+        if key not in taken:
+            return key
+
+
+def _wire_classes():
+    """(class, known-good document) for every strict wire format."""
+    from repro.experiments.runner import ScenarioConfig
+    from repro.service.schemas import SubmitRequest
+    from repro.service.store import JobRecord
+
+    cases = []
+    for field, cls in COMPONENT_SPEC_CLASSES.items():
+        name = cls.registry().names()[0]
+        cases.append((cls, {"name": name, "params": {}}))
+    spec_doc = baseline_document()
+    cases.append((ScenarioSpec, spec_doc))
+    cases.append((ScenarioConfig, ScenarioSpec.from_dict(spec_doc).to_config().to_dict()))
+    cases.append((JobRecord, {"job_id": "fuzz-1", "state": "queued"}))
+    cases.append((SubmitRequest, {"spec": dict(spec_doc)}))
+    return cases
+
+
+@pytest.mark.parametrize(
+    "cls,document", _wire_classes(), ids=lambda case: getattr(case, "__name__", None)
+)
+class TestUnknownKeyInjection:
+    def test_random_unknown_keys_are_named(self, cls, document):
+        generator = _stream("unknown", cls.__name__)
+        cls.from_dict(dict(document))  # the unmutated document must parse
+        for _ in range(ROUNDS):
+            key = _random_key(generator, set(document))
+            mutated = dict(document)
+            mutated[key] = None
+            with pytest.raises(SpecError) as excinfo:
+                cls.from_dict(mutated)
+            message = str(excinfo.value)
+            assert key in message and cls.__name__ in message
+
+
+def _required_cases():
+    """(class, known-good document, keys its from_dict declares required)."""
+    from repro.experiments.runner import ScenarioConfig
+    from repro.service.schemas import SubmitRequest
+    from repro.service.store import JobRecord
+
+    cases = []
+    for cls, document in _wire_classes():
+        if cls in COMPONENT_SPEC_CLASSES.values():
+            cases.append((cls, document, ("name",)))
+    spec_doc = baseline_document()
+    cases.append((ScenarioSpec, spec_doc, ("topology",)))
+    cases.append(
+        (
+            ScenarioConfig,
+            ScenarioSpec.from_dict(spec_doc).to_config().to_dict(),
+            ("topology", "route_set", "bit_error_rate", "duration_s", "seed"),
+        )
+    )
+    cases.append((JobRecord, {"job_id": "fuzz-1", "state": "queued"}, ("job_id",)))
+    cases.append((SubmitRequest, {"spec": dict(spec_doc)}, ("spec",)))
+    return cases
+
+
+@pytest.mark.parametrize("cls,document,required", _required_cases())
+class TestRequiredKeyRemoval:
+    def test_truncated_documents_name_the_missing_field(self, cls, document, required):
+        generator = _stream("truncate", cls.__name__)
+        for _ in range(ROUNDS):
+            key = required[int(generator.integers(len(required)))]
+            mutated = {k: v for k, v in document.items() if k != key}
+            with pytest.raises(SpecError) as excinfo:
+                cls.from_dict(mutated)
+            message = str(excinfo.value)
+            assert "missing required field" in message
+            assert key in message and cls.__name__ in message
+
+
+class TestWrongTypes:
+    #: ScenarioSpec fields that must hold component dicts (or None).
+    COMPONENT_FIELDS = ("topology", "mac", "routing", "traffic", "transport", "mobility")
+    SCALARS = (0, 1.5, "dcf", True, ["dcf"])
+
+    def test_scalar_component_entries_raise_spec_errors(self):
+        generator = _stream("wrong-type", "ScenarioSpec")
+        for _ in range(ROUNDS):
+            field = self.COMPONENT_FIELDS[int(generator.integers(len(self.COMPONENT_FIELDS)))]
+            scalar = self.SCALARS[int(generator.integers(len(self.SCALARS)))]
+            mutated = baseline_document()
+            mutated[field] = scalar
+            with pytest.raises((SpecError, ValueError)):
+                ScenarioSpec.from_dict(mutated)
+
+    def test_scalar_submit_spec_is_rejected_by_name(self):
+        from repro.service.schemas import SubmitRequest
+
+        with pytest.raises(SpecError, match="SubmitRequest.spec must be a dict"):
+            SubmitRequest.from_dict({"spec": "line"})
+
+    def test_non_dict_document_names_the_class(self):
+        with pytest.raises(SpecError, match="ScenarioSpec expects a dict"):
+            ScenarioSpec.from_dict("not a dict")

@@ -12,14 +12,78 @@ class TestList:
         assert "mobility-tcp" in out and "mobility-voip" in out
 
     def test_registry_covers_paper_and_extras(self):
-        for name in ("fig3", "table3", "mobility-tcp", "mobility-voip"):
+        for name in ("fig3", "table3", "mobility-tcp", "mobility-voip", "corpus"):
             assert name in EXPERIMENTS
+
+    def test_list_groups_families_under_headings(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for heading in ("paper figures:", "ablations:", "mobility:",
+                        "components:", "corpus:"):
+            assert heading in out
+        # Headings appear in registration order; figures come first.
+        assert out.index("paper figures:") < out.index("ablations:") < out.index("corpus:")
+
+    def test_list_marks_cache_only_families_and_axes(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        report_line = next(
+            line for line in out.splitlines() if line.strip().startswith("corpus-report")
+        )
+        assert "[cache-only]" in report_line
+        corpus_line = next(
+            line for line in out.splitlines()
+            if line.strip().startswith("corpus ") or line.strip().startswith("corpus  ")
+        )
+        assert "axes: topology x mac" in corpus_line
+        # The simulating family is not marked cache-only.
+        assert "[cache-only]" not in corpus_line
+
+    def test_list_prints_registry_summaries(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "MAC scheme:" in out and "trace:<arg>" in out
 
 
 class TestRun:
     def test_unknown_experiment_rejected(self, capsys):
         assert main(["run", "fig99"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestCorpusFamily:
+    def test_run_corpus_returns_seeded_sample_rows(self):
+        from repro.experiments.corpus import run_corpus
+
+        result = run_corpus(seed=0, sample=2, duration_s=0.005)
+        again = run_corpus(seed=0, sample=2, duration_s=0.005)
+        assert len(result.labels) == 2
+        assert result.labels == again.labels
+        assert result.throughput_mbps == again.throughput_mbps
+        for label in result.labels:
+            assert label in result.throughput_mbps and label in result.events
+
+    def test_corpus_report_refuses_to_simulate_without_cache(self, capsys):
+        assert main(["run", "corpus-report", "--no-cache"]) == 3
+        assert "never simulates" in capsys.readouterr().err
+
+    def test_corpus_report_serves_a_populated_cache(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        import repro.experiments.corpus as corpus
+
+        # run_corpus binds its defaults at def time; wrap it to shrink the
+        # sample (the renderer re-imports the symbol on each call).
+        full_run = corpus.run_corpus
+        monkeypatch.setattr(
+            corpus, "run_corpus", lambda **kwargs: full_run(**{**kwargs, "sample": 2})
+        )
+        monkeypatch.setattr(corpus, "CORPUS_DURATION_S", 0.005)
+        assert main(["run", "corpus"]) == 0
+        run_out = capsys.readouterr().out
+        assert "Corpus" in run_out
+        assert main(["run", "corpus-report"]) == 0
+        report_out = capsys.readouterr().out
+        assert "0 simulated" in report_out
 
 
 class TestReport:
